@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Section V plus the Figure 8 driver-host experiment, printed
+// with the paper's published values alongside.
+//
+// Usage:
+//
+//	experiments -run all                # every experiment, scaled volumes
+//	experiments -run table1 -full       # Table I at full paper scale
+//	experiments -run fig14 -seed 3
+//
+// Experiment ids: fig8, table1, fig10, fig11, fig12, fig13, fig14,
+// table2 (alias fig15), table3 (alias fig16), live (real engine at laptop
+// scale), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpcxiot/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id to regenerate")
+		full  = flag.Bool("full", false, "use the paper's full kvp volumes (slower)")
+		scale = flag.Int64("scale", 100, "volume divisor when not running -full")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		csv   = flag.String("csv", "", "also write every data series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Options{
+		Out:          os.Stdout,
+		FullScale:    *full,
+		ScaleDivisor: *scale,
+		Seed:         *seed,
+	})
+	if err := suite.Run(*run); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv != "" {
+		if err := suite.WriteCSV(*csv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV series written to %s\n", *csv)
+	}
+}

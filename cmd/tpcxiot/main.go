@@ -1,0 +1,103 @@
+// Command tpcxiot runs the TPCx-IoT benchmark against the live in-process
+// mini-HBase cluster, mirroring the kit's command line: the number of
+// driver instances (simulated power substations) and the total number of
+// kvps to ingest.
+//
+// Usage:
+//
+//	tpcxiot -drivers 4 -kvps 400000 -nodes 3
+//
+// A compliant run requires -kvps large enough that every workload
+// execution exceeds 1800 s; smaller runs complete quickly but are reported
+// as non-compliant (useful for laptop-scale shape checks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tpcxiot/internal/driver"
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/wal"
+)
+
+func main() {
+	var (
+		drivers     = flag.Int("drivers", 2, "driver instances (simulated power substations)")
+		kvps        = flag.Int64("kvps", 200_000, "total kvps to ingest per workload execution")
+		nodes       = flag.Int("nodes", 3, "region servers in the cluster")
+		threads     = flag.Int("threads", 4, "worker threads per driver instance")
+		writeBuffer = flag.Int64("writebuffer", 256<<10, "client write buffer bytes (hbase.client.write.buffer)")
+		handlers    = flag.Int("handlers", 32, "request handlers per region server")
+		iterations  = flag.Int("iterations", 2, "benchmark iterations (spec requires 2)")
+		minSeconds  = flag.Float64("minseconds", 1800, "minimum workload execution seconds for validity")
+		dataDir     = flag.String("datadir", "", "data directory (default: temporary)")
+		seed        = flag.Uint64("seed", 1, "workload generation seed")
+		durable     = flag.Bool("durable", false, "fsync the WAL on every append (slow, crash-safe)")
+		useTCP      = flag.Bool("tcp", false, "drive the cluster over its loopback TCP wire protocol")
+		status      = flag.Duration("status", 0, "log a status line for driver 0 on this interval (e.g. 2s)")
+	)
+	flag.Parse()
+
+	dir := *dataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "tpcxiot-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	sync := wal.SyncNever
+	if *durable {
+		sync = wal.SyncOnAppend
+	}
+	cluster, err := hbase.NewCluster(hbase.Config{
+		Nodes:        *nodes,
+		HandlerCount: *handlers,
+		DataDir:      dir,
+		Store:        lsm.Options{WALSync: sync},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	sut, err := driver.NewClusterSUT(cluster, *drivers, *writeBuffer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *useTCP {
+		if err := sut.UseTCP(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := driver.Run(driver.Config{
+		Drivers:            *drivers,
+		TotalKVPs:          *kvps,
+		ThreadsPerDriver:   *threads,
+		Seed:               *seed,
+		SUT:                sut,
+		Iterations:         *iterations,
+		MinWorkloadSeconds: *minSeconds,
+		StatusInterval:     *status,
+		Logf: func(format string, args ...any) {
+			log.Printf(format, args...)
+		},
+	})
+	if err != nil {
+		if res != nil {
+			fmt.Print(res.Report())
+		}
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	if !res.Valid() {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,56 @@
+// Capacity planning: use the calibrated testbed simulator to answer the
+// question the paper's execution rules pose to an operator — how many power
+// substations can an N-node gateway support before the 20 kvps/s/sensor
+// floor is crossed?
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpcxiot/internal/audit"
+	"tpcxiot/internal/testbed"
+)
+
+func main() {
+	fmt.Println("gateway capacity under the TPCx-IoT execution rules")
+	fmt.Println("(20 kvps/s per sensor; 200 sensors per substation)")
+	fmt.Println()
+	fmt.Printf("%6s %14s %18s %14s\n", "nodes", "max substa", "IoTps at max", "per-sensor")
+
+	// Short planning runs use the stall-free model: compaction stalls are
+	// seconds-long physical events that only matter to multi-minute runs'
+	// latency tails, and they would add noise to a capacity estimate.
+	params := testbed.DefaultParams()
+	params.StallMeanInterval = 0
+
+	for _, nodes := range []int{2, 3, 4, 6, 8} {
+		best, bestIoTps, bestRate := 0, 0.0, 0.0
+		// Walk up the substation count until the floor is crossed.
+		for subs := 1; subs <= 64; subs++ {
+			e, err := testbed.Execute(testbed.Config{
+				Nodes:       nodes,
+				Substations: subs,
+				TotalKVPs:   4_000_000,
+				Seed:        9,
+				Params:      &params,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rate := e.PerSensorIoTps(subs)
+			if rate < audit.MinPerSensorRate {
+				break
+			}
+			best, bestIoTps, bestRate = subs, e.IoTps(), rate
+		}
+		fmt.Printf("%6d %14d %18.0f %14.1f\n", nodes, best, bestIoTps, bestRate)
+	}
+
+	fmt.Println()
+	fmt.Println("The paper's 8-node run passes the floor at 32 substations (29.1")
+	fmt.Println("kvps/s per sensor) and fails it at 48 (19.0); this planner's finer")
+	fmt.Println("walk places the 8-node crossing inside the same 32-48 window.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: stand up an in-process gateway cluster, run a small TPCx-IoT
+// benchmark against it, and print the reported metric.
+//
+//	go run ./examples/quickstart
+//
+// The run is scaled down (seconds, not the 1800-second compliant minimum),
+// so the report marks it non-compliant — the point is the end-to-end path:
+// prerequisite checks, warmup, measured run, data check, cleanup,
+// repetition, report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tpcxiot/internal/driver"
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/wal"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tpcxiot-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A 3-node cluster: the minimum that satisfies 3-way replication.
+	cluster, err := hbase.NewCluster(hbase.Config{
+		Nodes:   3,
+		DataDir: dir,
+		Store:   lsm.Options{WALSync: wal.SyncNever, MemtableSize: 32 << 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// One driver instance = one simulated power substation of 200 sensors.
+	sut, err := driver.NewClusterSUT(cluster, 1, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := driver.Run(driver.Config{
+		Drivers:            1,
+		TotalKVPs:          40_000,
+		ThreadsPerDriver:   4,
+		SUT:                sut,
+		MinWorkloadSeconds: 0.1, // scaled-down demo, not a compliant run
+		Logf:               func(f string, a ...any) { fmt.Printf(f+"\n", a...) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(res.Report())
+	fmt.Printf("\nReported metric: %.0f IoTps\n", res.IoTps())
+}

@@ -1,0 +1,3 @@
+module tpcxiot
+
+go 1.22

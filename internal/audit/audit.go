@@ -1,0 +1,271 @@
+// Package audit implements the prerequisite, validity and audit checks of
+// the TPCx-IoT execution rules (Sections III-B and IV-D).
+//
+// Before the warmup run the benchmark driver performs the file check
+// (md5 checksums of all non-changeable kit files against a reference
+// manifest) and the data-replication check (three-way replication). After
+// each measured run the data check verifies the runtime requirements:
+// at least 1 800 s of workload execution, at least 20 kvps/s ingested per
+// sensor, and a healthy number of readings aggregated per query. Results
+// must additionally be audited — independently or by a peer review
+// committee — before publication.
+package audit
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Specification thresholds.
+const (
+	// MinWorkloadSeconds is the minimum elapsed time for both the warmup
+	// and the measured workload execution.
+	MinWorkloadSeconds = 1800.0
+	// MinPerSensorRate is the minimum average ingest rate per sensor in
+	// kvps/s.
+	MinPerSensorRate = 20.0
+	// MinRowsPerQuery is the floor on the average number of readings
+	// aggregated per query; the paper states a run is invalid below 200.
+	MinRowsPerQuery = 200.0
+	// RequiredReplication is the storage replication factor the
+	// prerequisite check demands.
+	RequiredReplication = 3
+)
+
+// Check is the outcome of one audit item.
+type Check struct {
+	// Name identifies the check, e.g. "file-check".
+	Name string
+	// Passed reports the verdict.
+	Passed bool
+	// Detail is a human-readable explanation with the measured values.
+	Detail string
+}
+
+// Checklist aggregates checks for a run.
+type Checklist []Check
+
+// Passed reports whether every check passed.
+func (cl Checklist) Passed() bool {
+	for _, c := range cl {
+		if !c.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the checks that did not pass.
+func (cl Checklist) Failed() Checklist {
+	var out Checklist
+	for _, c := range cl {
+		if !c.Passed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the checklist as a report section.
+func (cl Checklist) String() string {
+	var b strings.Builder
+	for _, c := range cl {
+		mark := "PASS"
+		if !c.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-24s %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Manifest maps kit file paths to their reference MD5 checksums (hex).
+type Manifest map[string]string
+
+// BuildManifest computes the manifest for the given files; used when
+// producing a kit release.
+func BuildManifest(paths []string) (Manifest, error) {
+	m := make(Manifest, len(paths))
+	for _, p := range paths {
+		sum, err := fileMD5(p)
+		if err != nil {
+			return nil, err
+		}
+		m[p] = sum
+	}
+	return m, nil
+}
+
+func fileMD5(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("audit: open %s: %w", path, err)
+	}
+	defer f.Close()
+	h := md5.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("audit: hash %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FileCheck verifies every manifest entry against the file on disk: the
+// prerequisite that no non-changeable kit file was altered.
+func FileCheck(m Manifest) Check {
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var bad []string
+	for _, p := range paths {
+		sum, err := fileMD5(p)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s (unreadable: %v)", p, err))
+			continue
+		}
+		if sum != m[p] {
+			bad = append(bad, fmt.Sprintf("%s (checksum mismatch)", p))
+		}
+	}
+	if len(bad) > 0 {
+		return Check{Name: "file-check", Passed: false,
+			Detail: fmt.Sprintf("%d of %d kit files altered or missing: %s",
+				len(bad), len(m), strings.Join(bad, ", "))}
+	}
+	return Check{Name: "file-check", Passed: true,
+		Detail: fmt.Sprintf("%d kit files match the reference checksums", len(m))}
+}
+
+// ReplicationCheck verifies the storage tier's replication factor.
+func ReplicationCheck(factor int) Check {
+	return Check{
+		Name:   "data-replication-check",
+		Passed: factor >= RequiredReplication,
+		Detail: fmt.Sprintf("replication factor %d (require >= %d)", factor, RequiredReplication),
+	}
+}
+
+// DurationCheck verifies a workload execution ran at least minSeconds
+// (pass MinWorkloadSeconds for a compliant run; scaled-down experiments may
+// pass a smaller bound and must disclose it).
+func DurationCheck(name string, elapsed time.Duration, minSeconds float64) Check {
+	return Check{
+		Name:   name,
+		Passed: elapsed.Seconds() >= minSeconds,
+		Detail: fmt.Sprintf("elapsed %.1fs (require >= %.0fs)", elapsed.Seconds(), minSeconds),
+	}
+}
+
+// PerSensorRateCheck verifies the average per-sensor ingest rate.
+func PerSensorRateCheck(perSensorRate, min float64) Check {
+	return Check{
+		Name:   "per-sensor-ingest-rate",
+		Passed: perSensorRate >= min,
+		Detail: fmt.Sprintf("%.1f kvps/s per sensor (require >= %.0f)", perSensorRate, min),
+	}
+}
+
+// QueryAggregateCheck verifies the mean readings aggregated per query.
+func QueryAggregateCheck(avgRows, min float64) Check {
+	return Check{
+		Name:   "readings-per-query",
+		Passed: avgRows >= min,
+		Detail: fmt.Sprintf("%.1f readings aggregated per query (require >= %.0f)", avgRows, min),
+	}
+}
+
+// DataCheck verifies the measured run ingested exactly the requested kvps —
+// TPCx-IoT is a fixed-workload benchmark, so a shortfall means lost data.
+func DataCheck(ingested, expected int64) Check {
+	return Check{
+		Name:   "data-check",
+		Passed: ingested == expected,
+		Detail: fmt.Sprintf("ingested %d of %d kvps", ingested, expected),
+	}
+}
+
+// StoredRowsCheck verifies the storage tier holds every reading ingested
+// during the iteration (warmup plus measured run) — the storage-level
+// complement of DataCheck's client-side accounting.
+func StoredRowsCheck(stored, expected int64) Check {
+	return Check{
+		Name:   "stored-rows",
+		Passed: stored == expected,
+		Detail: fmt.Sprintf("storage holds %d of %d ingested readings", stored, expected),
+	}
+}
+
+// RepeatabilityCheck compares the two iterations' throughput. The TPC
+// requires a repetition run to demonstrate repeatability; tolerance is the
+// allowed relative difference (e.g. 0.10 for 10%).
+func RepeatabilityCheck(iotps1, iotps2, tolerance float64) Check {
+	if iotps1 <= 0 || iotps2 <= 0 {
+		return Check{Name: "repeatability", Passed: false,
+			Detail: fmt.Sprintf("non-positive throughput: %.1f vs %.1f", iotps1, iotps2)}
+	}
+	lo, hi := iotps1, iotps2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	diff := (hi - lo) / hi
+	return Check{
+		Name:   "repeatability",
+		Passed: diff <= tolerance,
+		Detail: fmt.Sprintf("iterations differ by %.1f%% (allow <= %.0f%%)", diff*100, tolerance*100),
+	}
+}
+
+// Method is how a result is audited before publication.
+type Method int
+
+// Audit methods permitted by the specification.
+const (
+	// IndependentAudit is review by a third party with no interest in the
+	// benchmark sponsor.
+	IndependentAudit Method = iota
+	// PeerAudit is review by a committee of three members from TPC
+	// companies other than the sponsor.
+	PeerAudit
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == PeerAudit {
+		return "peer audit"
+	}
+	return "independent audit"
+}
+
+// Record documents the audit of a result.
+type Record struct {
+	Method    Method
+	Auditors  []string
+	Date      time.Time
+	Checklist Checklist
+}
+
+// Validate enforces the specification's composition rules: an independent
+// audit needs at least one auditor; a peer audit needs a three-member
+// committee.
+func (r Record) Validate() error {
+	switch r.Method {
+	case IndependentAudit:
+		if len(r.Auditors) < 1 {
+			return fmt.Errorf("audit: independent audit requires an auditor")
+		}
+	case PeerAudit:
+		if len(r.Auditors) != 3 {
+			return fmt.Errorf("audit: peer audit requires exactly 3 committee members, have %d", len(r.Auditors))
+		}
+	default:
+		return fmt.Errorf("audit: unknown method %d", r.Method)
+	}
+	return nil
+}

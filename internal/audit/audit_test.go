@@ -1,0 +1,172 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChecklistPassedAndFailed(t *testing.T) {
+	cl := Checklist{
+		{Name: "a", Passed: true},
+		{Name: "b", Passed: true},
+	}
+	if !cl.Passed() {
+		t.Fatal("all-pass checklist reported failure")
+	}
+	cl = append(cl, Check{Name: "c", Passed: false, Detail: "boom"})
+	if cl.Passed() {
+		t.Fatal("failing checklist reported success")
+	}
+	failed := cl.Failed()
+	if len(failed) != 1 || failed[0].Name != "c" {
+		t.Fatalf("Failed() = %v", failed)
+	}
+	s := cl.String()
+	if !strings.Contains(s, "PASS") || !strings.Contains(s, "FAIL") || !strings.Contains(s, "boom") {
+		t.Fatalf("report rendering: %q", s)
+	}
+}
+
+func TestFileCheck(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "driver.jar")
+	b := filepath.Join(dir, "run.sh")
+	os.WriteFile(a, []byte("kit contents A"), 0o644)
+	os.WriteFile(b, []byte("kit contents B"), 0o644)
+
+	m, err := BuildManifest([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := FileCheck(m); !c.Passed {
+		t.Fatalf("pristine kit failed: %s", c.Detail)
+	}
+
+	// Alter a file: the check must fail and name the file.
+	os.WriteFile(b, []byte("tampered"), 0o644)
+	c := FileCheck(m)
+	if c.Passed {
+		t.Fatal("tampered kit passed the file check")
+	}
+	if !strings.Contains(c.Detail, "run.sh") {
+		t.Fatalf("detail does not name the altered file: %s", c.Detail)
+	}
+
+	// Remove a file: also a failure.
+	os.Remove(a)
+	if c := FileCheck(m); c.Passed {
+		t.Fatal("missing kit file passed the file check")
+	}
+}
+
+func TestBuildManifestMissingFile(t *testing.T) {
+	if _, err := BuildManifest([]string{filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("manifest over missing file succeeded")
+	}
+}
+
+func TestReplicationCheck(t *testing.T) {
+	if c := ReplicationCheck(3); !c.Passed {
+		t.Fatalf("factor 3 failed: %s", c.Detail)
+	}
+	if c := ReplicationCheck(4); !c.Passed {
+		t.Fatal("factor 4 failed")
+	}
+	if c := ReplicationCheck(2); c.Passed {
+		t.Fatal("factor 2 passed")
+	}
+}
+
+func TestDurationCheck(t *testing.T) {
+	if c := DurationCheck("measured-duration", 1801*time.Second, MinWorkloadSeconds); !c.Passed {
+		t.Fatalf("1801s failed: %s", c.Detail)
+	}
+	if c := DurationCheck("measured-duration", 1799*time.Second, MinWorkloadSeconds); c.Passed {
+		t.Fatal("1799s passed")
+	}
+	// Scaled-down bound for laptop experiments.
+	if c := DurationCheck("measured-duration", 3*time.Second, 2); !c.Passed {
+		t.Fatal("scaled bound not honoured")
+	}
+}
+
+func TestPerSensorRateCheck(t *testing.T) {
+	// Paper Table I: 29.1/sensor at 32 substations passes; 19.0 at 48 fails.
+	if c := PerSensorRateCheck(29.1, MinPerSensorRate); !c.Passed {
+		t.Fatalf("29.1 failed: %s", c.Detail)
+	}
+	if c := PerSensorRateCheck(19.0, MinPerSensorRate); c.Passed {
+		t.Fatal("19.0 passed the 20 kvps/s floor")
+	}
+	if c := PerSensorRateCheck(20.0, MinPerSensorRate); !c.Passed {
+		t.Fatal("exact threshold should pass")
+	}
+}
+
+func TestQueryAggregateCheck(t *testing.T) {
+	if c := QueryAggregateCheck(250, MinRowsPerQuery); !c.Passed {
+		t.Fatal("250 rows/query failed")
+	}
+	if c := QueryAggregateCheck(150, MinRowsPerQuery); c.Passed {
+		t.Fatal("150 rows/query passed the 200 floor")
+	}
+}
+
+func TestDataCheck(t *testing.T) {
+	if c := DataCheck(1_000_000, 1_000_000); !c.Passed {
+		t.Fatal("exact ingestion failed")
+	}
+	if c := DataCheck(999_999, 1_000_000); c.Passed {
+		t.Fatal("shortfall passed the data check")
+	}
+	if c := DataCheck(1_000_001, 1_000_000); c.Passed {
+		t.Fatal("overrun passed the data check")
+	}
+}
+
+func TestRepeatabilityCheck(t *testing.T) {
+	if c := RepeatabilityCheck(100_000, 103_000, 0.10); !c.Passed {
+		t.Fatalf("3%% difference failed: %s", c.Detail)
+	}
+	if c := RepeatabilityCheck(100_000, 80_000, 0.10); c.Passed {
+		t.Fatal("20% difference passed a 10% tolerance")
+	}
+	if c := RepeatabilityCheck(0, 100, 0.10); c.Passed {
+		t.Fatal("zero throughput passed")
+	}
+	// Symmetry.
+	a := RepeatabilityCheck(90, 100, 0.15)
+	b := RepeatabilityCheck(100, 90, 0.15)
+	if a.Passed != b.Passed {
+		t.Fatal("repeatability check is order-dependent")
+	}
+}
+
+func TestAuditRecordValidate(t *testing.T) {
+	good := Record{Method: IndependentAudit, Auditors: []string{"auditor-1"}, Date: time.Now()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Record{Method: IndependentAudit}).Validate(); err == nil {
+		t.Fatal("independent audit without auditor accepted")
+	}
+	peer := Record{Method: PeerAudit, Auditors: []string{"a", "b", "c"}}
+	if err := peer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Record{Method: PeerAudit, Auditors: []string{"a", "b"}}).Validate(); err == nil {
+		t.Fatal("two-member peer committee accepted")
+	}
+	if err := (Record{Method: Method(9)}).Validate(); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if IndependentAudit.String() != "independent audit" || PeerAudit.String() != "peer audit" {
+		t.Fatal("method names wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func keysN(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	return keys
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys := keysN(10000)
+	f := New(keys, DefaultBitsPerKey)
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	keys := keysN(10000)
+	f := New(keys, DefaultBitsPerKey)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%08d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false-positive rate %.4f too high for 10 bits/key", rate)
+	}
+}
+
+func TestEmptyKeySet(t *testing.T) {
+	f := New(nil, DefaultBitsPerKey)
+	if f.MayContain([]byte("anything")) {
+		t.Fatal("empty filter claimed to contain a key")
+	}
+}
+
+func TestShortFilterIsSafe(t *testing.T) {
+	if Filter(nil).MayContain([]byte("x")) {
+		t.Fatal("nil filter must report absent")
+	}
+	if (Filter{1}).MayContain([]byte("x")) {
+		t.Fatal("1-byte filter must report absent")
+	}
+}
+
+func TestUnknownEncodingDegradesToMaybe(t *testing.T) {
+	f := make(Filter, 9)
+	f[8] = 31 // k > 30: future encoding
+	if !f.MayContain([]byte("x")) {
+		t.Fatal("unknown encoding must degrade to maybe, not lose keys")
+	}
+}
+
+func TestDefaultBitsFallback(t *testing.T) {
+	keys := keysN(100)
+	a := New(keys, 0)
+	b := New(keys, DefaultBitsPerKey)
+	if len(a) != len(b) {
+		t.Fatalf("fallback filter size %d != default size %d", len(a), len(b))
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		filter := New(raw, DefaultBitsPerKey)
+		for _, k := range raw {
+			if !filter.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Adjacent keys should not collide in the low bits used for placement.
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		h := hash([]byte(fmt.Sprintf("k%d", i)))
+		if seen[h] {
+			t.Fatalf("hash collision at key k%d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keys := keysN(100000)
+	f := New(keys, DefaultBitsPerKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(keys[i%len(keys)])
+	}
+}

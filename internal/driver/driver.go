@@ -1,0 +1,399 @@
+// Package driver implements the TPCx-IoT benchmark driver: the component
+// that runs the complete benchmark against a System Under Test according to
+// the execution rules of Section III-B and Figure 6.
+//
+// A benchmark run is two iterations. Each iteration executes the workload
+// twice — an untimed warmup and the measured run — followed by a data check;
+// a system cleanup separates the iterations. Before the first warmup the
+// driver performs the prerequisite checks (kit file checksums, replication
+// factor). The reported metric comes from the two measured runs per the
+// metrics package.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tpcxiot/internal/audit"
+	"tpcxiot/internal/histogram"
+	"tpcxiot/internal/metrics"
+	"tpcxiot/internal/workload"
+	"tpcxiot/internal/ycsb"
+)
+
+// Sentinel errors.
+var (
+	ErrBadConfig    = errors.New("driver: invalid configuration")
+	ErrPrerequisite = errors.New("driver: prerequisite check failed")
+)
+
+// RowCounter is an optional SUT capability: counting the readings actually
+// persisted, so the data check can verify storage rather than trusting
+// client-side counters alone.
+type RowCounter interface {
+	// CountRows returns the number of readings currently stored.
+	CountRows() (int64, error)
+}
+
+// SUT abstracts the system under test so the same driver runs against the
+// live mini-HBase cluster and against test doubles.
+type SUT interface {
+	// Binding returns the per-thread DB factory for driver instance d.
+	Binding(d int) ycsb.Binding
+	// ReplicationFactor reports the storage replication for the
+	// prerequisite check.
+	ReplicationFactor() int
+	// Cleanup purges all ingested data and restarts the data management
+	// system: the system cleanup between benchmark iterations.
+	Cleanup() error
+	// Describe names the SUT for reports.
+	Describe() string
+}
+
+// Config parametrises a benchmark run. The two required knobs mirror the
+// kit's command line: the number of driver instances (simulated power
+// substations) and the total number of kvps.
+type Config struct {
+	// Drivers is P, the number of TPCx-IoT driver instances. Required.
+	Drivers int
+	// TotalKVPs is K, the total sensor readings to ingest across all
+	// instances. Defaults to 1e9, the kit default.
+	TotalKVPs int64
+	// ThreadsPerDriver is the worker threads per instance. Defaults to 10.
+	ThreadsPerDriver int
+	// Seed makes data generation reproducible.
+	Seed uint64
+	// SUT is the system under test. Required.
+	SUT SUT
+	// Manifest, when non-nil, is verified by the file check.
+	Manifest audit.Manifest
+	// Iterations is the benchmark iteration count. Defaults to 2 as the
+	// specification requires; tests may use 1.
+	Iterations int
+	// MinWorkloadSeconds overrides the 1 800 s execution-rule floor for
+	// scaled-down (non-publishable) runs. Defaults to the specification
+	// value. Scaled runs are marked non-compliant in the result.
+	MinWorkloadSeconds float64
+	// RepeatabilityTolerance is the allowed relative difference between
+	// iteration throughputs. Defaults to 0.10.
+	RepeatabilityTolerance float64
+	// Now supplies the clock for timestamps; defaults to time.Now.
+	Now func() time.Time
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+	// StatusInterval, when positive, logs a YCSB-style status line for the
+	// first driver instance on that period via Logf.
+	StatusInterval time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.SUT == nil {
+		return c, fmt.Errorf("%w: SUT is required", ErrBadConfig)
+	}
+	if c.Drivers <= 0 {
+		return c, fmt.Errorf("%w: Drivers must be positive", ErrBadConfig)
+	}
+	if c.TotalKVPs == 0 {
+		c.TotalKVPs = 1_000_000_000
+	}
+	if c.TotalKVPs < int64(c.Drivers) {
+		return c, fmt.Errorf("%w: TotalKVPs %d below driver count %d", ErrBadConfig, c.TotalKVPs, c.Drivers)
+	}
+	if c.ThreadsPerDriver <= 0 {
+		c.ThreadsPerDriver = workload.DefaultThreads
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 2
+	}
+	if c.MinWorkloadSeconds == 0 {
+		c.MinWorkloadSeconds = audit.MinWorkloadSeconds
+	}
+	if c.RepeatabilityTolerance == 0 {
+		c.RepeatabilityTolerance = 0.10
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// DriverOutcome is one driver instance's result within a workload execution.
+type DriverOutcome struct {
+	// Substation is the instance's substation key.
+	Substation string
+	// Share is the instance's kvp quota per Equation 3.
+	Share int64
+	// Elapsed is the instance's ingest time — the statistic behind
+	// Table II's load-balance analysis.
+	Elapsed time.Duration
+	// Stats carries the instance's insert/query counters.
+	Stats workload.InstanceStats
+	// InsertLatency and QueryLatency are the instance's per-operation
+	// latency distributions in nanoseconds.
+	InsertLatency, QueryLatency histogram.Snapshot
+}
+
+// Execution is one workload execution (a warmup or a measured run).
+type Execution struct {
+	// Start and End are TS_start and TS_end.
+	Start, End time.Time
+	// KVPs is the total ingested.
+	KVPs int64
+	// Drivers holds each instance's outcome.
+	Drivers []DriverOutcome
+	// InsertLatency and QueryLatency merge all instances' distributions.
+	InsertLatency, QueryLatency histogram.Snapshot
+}
+
+// Elapsed is the execution's wall-clock duration.
+func (e Execution) Elapsed() time.Duration { return e.End.Sub(e.Start) }
+
+// IoTps is the execution's system-wide throughput.
+func (e Execution) IoTps() float64 {
+	return metrics.Run{KVPs: e.KVPs, Start: e.Start, End: e.End}.IoTps()
+}
+
+// IngestSkew returns the fastest, slowest and mean per-driver ingest times
+// (Table II). Zero values when there are no drivers.
+func (e Execution) IngestSkew() (min, max, avg time.Duration) {
+	if len(e.Drivers) == 0 {
+		return 0, 0, 0
+	}
+	var sum time.Duration
+	min = e.Drivers[0].Elapsed
+	for _, d := range e.Drivers {
+		if d.Elapsed < min {
+			min = d.Elapsed
+		}
+		if d.Elapsed > max {
+			max = d.Elapsed
+		}
+		sum += d.Elapsed
+	}
+	return min, max, sum / time.Duration(len(e.Drivers))
+}
+
+// AvgRowsPerQuery is the system-wide mean readings aggregated per query
+// over both 5-second intervals (Figure 12).
+func (e Execution) AvgRowsPerQuery() float64 {
+	var rows, queries int64
+	for _, d := range e.Drivers {
+		rows += d.Stats.RowsAggregated + d.Stats.HistoricalRows
+		queries += d.Stats.Queries
+	}
+	if queries == 0 {
+		return 0
+	}
+	return float64(rows) / float64(queries)
+}
+
+// Iteration is one benchmark iteration: warmup plus measured run.
+type Iteration struct {
+	Warmup   Execution
+	Measured Execution
+	Checks   audit.Checklist
+}
+
+// Result is the outcome of a full benchmark run.
+type Result struct {
+	// Config echoes the run parameters.
+	Drivers   int
+	TotalKVPs int64
+	// SUTDescription names the system under test.
+	SUTDescription string
+	// Prerequisites holds the pre-run checks.
+	Prerequisites audit.Checklist
+	// Iterations holds each benchmark iteration.
+	Iterations []Iteration
+	// Metric aggregates the measured runs.
+	Metric metrics.Result
+	// Compliant is true when the run used the specification thresholds
+	// (not a scaled-down MinWorkloadSeconds).
+	Compliant bool
+}
+
+// Checks flattens every checklist in the result.
+func (r *Result) Checks() audit.Checklist {
+	out := append(audit.Checklist(nil), r.Prerequisites...)
+	for _, it := range r.Iterations {
+		out = append(out, it.Checks...)
+	}
+	return out
+}
+
+// Valid reports whether every check passed.
+func (r *Result) Valid() bool { return r.Checks().Passed() }
+
+// IoTps returns the reported performance metric.
+func (r *Result) IoTps() float64 {
+	v, err := r.Metric.IoTps()
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Run executes the complete benchmark per Figure 6.
+func Run(cfg Config) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Drivers:        c.Drivers,
+		TotalKVPs:      c.TotalKVPs,
+		SUTDescription: c.SUT.Describe(),
+		Compliant:      c.MinWorkloadSeconds >= audit.MinWorkloadSeconds,
+	}
+
+	// Prerequisite checks: file check (when a manifest is supplied) and the
+	// data replication check. A failure aborts the run.
+	if c.Manifest != nil {
+		res.Prerequisites = append(res.Prerequisites, audit.FileCheck(c.Manifest))
+	}
+	res.Prerequisites = append(res.Prerequisites,
+		audit.ReplicationCheck(c.SUT.ReplicationFactor()))
+	if !res.Prerequisites.Passed() {
+		return res, fmt.Errorf("%w:\n%s", ErrPrerequisite, res.Prerequisites.Failed())
+	}
+
+	for it := 0; it < c.Iterations; it++ {
+		c.Logf("iteration %d/%d: warmup run", it+1, c.Iterations)
+		warmup, err := executeWorkload(c, uint64(it)*2+1)
+		if err != nil {
+			return res, fmt.Errorf("driver: iteration %d warmup: %w", it+1, err)
+		}
+		c.Logf("iteration %d/%d: measured run", it+1, c.Iterations)
+		measured, err := executeWorkload(c, uint64(it)*2+2)
+		if err != nil {
+			return res, fmt.Errorf("driver: iteration %d measured: %w", it+1, err)
+		}
+
+		iter := Iteration{Warmup: warmup, Measured: measured}
+		iter.Checks = append(iter.Checks,
+			audit.DurationCheck("warmup-duration", warmup.Elapsed(), c.MinWorkloadSeconds),
+			audit.DurationCheck("measured-duration", measured.Elapsed(), c.MinWorkloadSeconds),
+			audit.DataCheck(measured.KVPs, c.TotalKVPs),
+			audit.PerSensorRateCheck(
+				metrics.PerSensorIoTps(measured.IoTps(), c.Drivers),
+				audit.MinPerSensorRate),
+			audit.QueryAggregateCheck(measured.AvgRowsPerQuery(), audit.MinRowsPerQuery),
+		)
+		// When the SUT can count stored rows, verify the storage tier holds
+		// everything this iteration ingested (warmup + measured coexist
+		// until the next cleanup) — a stronger data check than client-side
+		// accounting.
+		if counter, ok := c.SUT.(RowCounter); ok {
+			stored, err := counter.CountRows()
+			if err != nil {
+				return res, fmt.Errorf("driver: stored-row count: %w", err)
+			}
+			iter.Checks = append(iter.Checks,
+				audit.StoredRowsCheck(stored, warmup.KVPs+measured.KVPs))
+		}
+		res.Iterations = append(res.Iterations, iter)
+		res.Metric.Runs = append(res.Metric.Runs, metrics.Run{
+			KVPs: measured.KVPs, Start: measured.Start, End: measured.End,
+		})
+
+		if it < c.Iterations-1 {
+			c.Logf("iteration %d/%d: system cleanup", it+1, c.Iterations)
+			if err := c.SUT.Cleanup(); err != nil {
+				return res, fmt.Errorf("driver: cleanup after iteration %d: %w", it+1, err)
+			}
+		}
+	}
+
+	if len(res.Iterations) >= 2 {
+		last := len(res.Iterations) - 1
+		res.Iterations[last].Checks = append(res.Iterations[last].Checks,
+			audit.RepeatabilityCheck(
+				res.Iterations[0].Measured.IoTps(),
+				res.Iterations[1].Measured.IoTps(),
+				c.RepeatabilityTolerance))
+	}
+	return res, nil
+}
+
+// ExecuteWorkload runs a single workload execution (all driver instances
+// concurrently) outside a full benchmark; the benchmark itself uses the
+// same path. Exported for experiments that need one execution, such as
+// warmup-free scaling probes.
+func ExecuteWorkload(cfg Config) (Execution, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Execution{}, err
+	}
+	return executeWorkload(c, 1)
+}
+
+func executeWorkload(c Config, salt uint64) (Execution, error) {
+	type driverRun struct {
+		outcome DriverOutcome
+		err     error
+	}
+	runs := make([]driverRun, c.Drivers)
+	var wg sync.WaitGroup
+
+	start := c.Now()
+	for d := 0; d < c.Drivers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			share := workload.KVPShare(c.TotalKVPs, c.Drivers, d+1)
+			inst, err := workload.NewInstance(workload.InstanceConfig{
+				Substation: workload.SubstationName(d),
+				Readings:   share,
+				Threads:    c.ThreadsPerDriver,
+				Seed:       c.Seed ^ (uint64(d)+1)*0x2545f4914f6cdd1d ^ salt*0x9e3779b97f4a7c15,
+				Now:        c.Now,
+			})
+			if err != nil {
+				runs[d].err = err
+				return
+			}
+			runCfg := ycsb.RunConfig{Threads: c.ThreadsPerDriver}
+			if d == 0 && c.StatusInterval > 0 {
+				runCfg.StatusInterval = c.StatusInterval
+				runCfg.Status = func(st ycsb.Status) {
+					c.Logf("driver 0 status: %s", st)
+				}
+			}
+			rep, err := ycsb.Run(runCfg, c.SUT.Binding(d), inst)
+			if err != nil {
+				runs[d].err = err
+				return
+			}
+			runs[d].outcome = DriverOutcome{
+				Substation:    inst.Substation(),
+				Share:         share,
+				Elapsed:       rep.Elapsed(),
+				Stats:         inst.Stats(),
+				InsertLatency: rep.Latencies[ycsb.OpInsert],
+				QueryLatency:  rep.Latencies[ycsb.OpQuery],
+			}
+		}(d)
+	}
+	wg.Wait()
+	end := c.Now()
+
+	exec := Execution{Start: start, End: end}
+	var inserts, queries []histogram.Snapshot
+	for d, r := range runs {
+		if r.err != nil {
+			return exec, fmt.Errorf("driver instance %d: %w", d, r.err)
+		}
+		exec.Drivers = append(exec.Drivers, r.outcome)
+		exec.KVPs += r.outcome.Stats.Inserted
+		inserts = append(inserts, r.outcome.InsertLatency)
+		queries = append(queries, r.outcome.QueryLatency)
+	}
+	exec.InsertLatency = histogram.MergeSnapshots(inserts...)
+	exec.QueryLatency = histogram.MergeSnapshots(queries...)
+	return exec, nil
+}

@@ -1,0 +1,57 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report renders the run report printed after the second iteration's data
+// check (Figure 6): every number needed to audit and publish the result.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TPCx-IoT Benchmark Report\n")
+	fmt.Fprintf(&b, "=========================\n")
+	fmt.Fprintf(&b, "SUT:                %s\n", r.SUTDescription)
+	fmt.Fprintf(&b, "Driver instances:   %d (simulated power substations)\n", r.Drivers)
+	fmt.Fprintf(&b, "Total kvps:         %d\n", r.TotalKVPs)
+	fmt.Fprintf(&b, "Compliant run:      %v\n\n", r.Compliant)
+
+	fmt.Fprintf(&b, "Prerequisite checks\n-------------------\n%s\n", r.Prerequisites)
+
+	for i, it := range r.Iterations {
+		fmt.Fprintf(&b, "Iteration %d\n-----------\n", i+1)
+		fmt.Fprintf(&b, "  warmup:   %10.1fs  (not timed toward the metric)\n",
+			it.Warmup.Elapsed().Seconds())
+		fmt.Fprintf(&b, "  measured: %10.1fs  %12.1f IoTps  %d kvps\n",
+			it.Measured.Elapsed().Seconds(), it.Measured.IoTps(), it.Measured.KVPs)
+		minT, maxT, avgT := it.Measured.IngestSkew()
+		fmt.Fprintf(&b, "  per-substation ingest time: min %.1fs  max %.1fs  avg %.1fs\n",
+			minT.Seconds(), maxT.Seconds(), avgT.Seconds())
+		if q := it.Measured.QueryLatency; q.Count() > 0 {
+			fmt.Fprintf(&b, "  queries: %d  avg %.1fms  min %.1fms  max %.1fms  p95 %.1fms  cv %.2f\n",
+				q.Count(), ms(q.Mean()), msI(q.Min()), msI(q.Max()),
+				msI(q.Percentile(95)), q.CV())
+			fmt.Fprintf(&b, "  readings aggregated per query: %.1f\n", it.Measured.AvgRowsPerQuery())
+		}
+		fmt.Fprintf(&b, "%s\n", it.Checks)
+	}
+
+	fmt.Fprintf(&b, "Primary metrics\n---------------\n")
+	if iotps, err := r.Metric.IoTps(); err == nil {
+		fmt.Fprintf(&b, "  Performance:        %.1f IoTps\n", iotps)
+	}
+	if r.Metric.OwnershipCost > 0 {
+		if pp, err := r.Metric.PricePerformance(); err == nil {
+			fmt.Fprintf(&b, "  Price-performance:  %.2f $/IoTps\n", pp)
+		}
+	}
+	if !r.Metric.Availability.IsZero() {
+		fmt.Fprintf(&b, "  Availability:       %s\n", r.Metric.Availability.Format(time.DateOnly))
+	}
+	fmt.Fprintf(&b, "  Result valid:       %v\n", r.Valid())
+	return b.String()
+}
+
+func ms(ns float64) float64 { return ns / 1e6 }
+func msI(ns int64) float64  { return float64(ns) / 1e6 }

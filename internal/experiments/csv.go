@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"tpcxiot/internal/metrics"
+	"tpcxiot/internal/testbed"
+)
+
+// WriteCSV emits every experiment's data series as CSV files under dir
+// (created if absent), one file per table/figure, ready for plotting. The
+// same sweeps feed the textual tables, so a combined run simulates each
+// configuration once.
+func (s *Suite) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: create csv dir: %w", err)
+	}
+
+	if err := s.csvFig8(dir); err != nil {
+		return err
+	}
+	pts8, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	if err := s.csvSweep8(dir, pts8); err != nil {
+		return err
+	}
+	return s.csvTable3(dir)
+}
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", name, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func itoa(v int64) string   { return strconv.FormatInt(v, 10) }
+
+func (s *Suite) csvFig8(dir string) error {
+	var rows [][]string
+	for _, pt := range testbed.HostGenerationSweep(testbed.DefaultHostGenParams()) {
+		paper := ""
+		if ref, ok := PaperFig8[pt.Drivers]; ok {
+			paper = ftoa(ref[0])
+		}
+		rows = append(rows, []string{
+			itoa(int64(pt.Drivers)), itoa(int64(pt.Threads)),
+			ftoa(pt.ThroughputKVPs), paper, ftoa(pt.CPUUtilPct), ftoa(pt.SystemPct),
+		})
+	}
+	return writeCSV(dir, "fig8.csv",
+		[]string{"drivers", "threads", "kvps_per_sec", "paper_kvps_per_sec", "cpu_pct", "sys_pct"},
+		rows)
+}
+
+// csvSweep8 writes every 8-node series: Table I, Figures 10-14, Table II.
+func (s *Suite) csvSweep8(dir string, pts []Point) error {
+	base := pts[0].Measured.IoTps()
+	var t1, f10, f11, f12, f13, f14, t2 [][]string
+	for _, pt := range pts {
+		sub := itoa(int64(pt.Substations))
+		iotps := pt.Measured.IoTps()
+		perSensor := pt.Measured.PerSensorIoTps(pt.Substations)
+		q := pt.Measured.QueryLatency
+
+		t1 = append(t1, []string{sub, itoa(pt.KVPs),
+			ftoa(seconds(pt.Warmup.Elapsed)), ftoa(seconds(pt.Measured.Elapsed)),
+			ftoa(iotps), ftoa(PaperIoTps[8][pt.Substations]), ftoa(perSensor)})
+		f10 = append(f10, []string{sub, ftoa(iotps),
+			ftoa(metrics.ScalingFactor(iotps, base)),
+			ftoa(PaperIoTps[8][pt.Substations]),
+			ftoa(metrics.ScalingFactor(PaperIoTps[8][pt.Substations], PaperIoTps[8][1]))})
+		f11 = append(f11, []string{sub, ftoa(perSensor), ftoa(PaperPerSensor[pt.Substations])})
+		f12 = append(f12, []string{sub, ftoa(pt.Measured.AvgRowsPerQuery), itoa(pt.Measured.Queries)})
+		f13 = append(f13, []string{sub, ftoa(q.Mean() / 1e6), ftoa(PaperQueryAvgMS[pt.Substations])})
+		f14 = append(f14, []string{sub,
+			ftoa(float64(q.Min()) / 1e6), ftoa(q.Mean() / 1e6), ftoa(float64(q.Max()) / 1e6),
+			ftoa(q.CV()), ftoa(float64(q.Percentile(95)) / 1e6),
+			ftoa(PaperQueryP95MS[pt.Substations])})
+		min, max, avg := pt.Measured.IngestSkew()
+		t2 = append(t2, []string{sub, ftoa(seconds(min)), ftoa(seconds(max)), ftoa(seconds(avg))})
+	}
+	steps := []struct {
+		name   string
+		header []string
+		rows   [][]string
+	}{
+		{"table1.csv", []string{"substations", "kvps", "warmup_s", "measured_s", "iotps", "paper_iotps", "per_sensor"}, t1},
+		{"fig10.csv", []string{"substations", "iotps", "scaling", "paper_iotps", "paper_scaling"}, f10},
+		{"fig11.csv", []string{"substations", "per_sensor_iotps", "paper_per_sensor"}, f11},
+		{"fig12.csv", []string{"substations", "rows_per_query", "queries"}, f12},
+		{"fig13.csv", []string{"substations", "avg_ms", "paper_avg_ms"}, f13},
+		{"fig14.csv", []string{"substations", "min_ms", "avg_ms", "max_ms", "cv", "p95_ms", "paper_p95_ms"}, f14},
+		{"table2.csv", []string{"substations", "min_s", "max_s", "avg_s"}, t2},
+	}
+	for _, st := range steps {
+		if err := writeCSV(dir, st.name, st.header, st.rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Suite) csvTable3(dir string) error {
+	sweeps := map[int][]Point{}
+	for _, n := range []int{2, 4, 8} {
+		pts, err := s.Sweep(n)
+		if err != nil {
+			return err
+		}
+		sweeps[n] = pts
+	}
+	var rows [][]string
+	for i, sub := range SubstationCounts {
+		row := []string{itoa(int64(sub))}
+		for _, n := range []int{2, 4, 8} {
+			row = append(row,
+				ftoa(sweeps[n][i].Measured.IoTps()),
+				ftoa(PaperIoTps[n][sub]),
+				ftoa(sweeps[n][i].Measured.PerSensorIoTps(sub)))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, "table3.csv",
+		[]string{"substations",
+			"iotps_2node", "paper_2node", "per_sensor_2node",
+			"iotps_4node", "paper_4node", "per_sensor_4node",
+			"iotps_8node", "paper_8node", "per_sensor_8node"},
+		rows)
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testSuite(t *testing.T, buf *bytes.Buffer) *Suite {
+	t.Helper()
+	return NewSuite(Options{
+		Out:          buf,
+		Seed:         11,
+		ScaleDivisor: 400, // keep tests fast; rates are scale-free
+	})
+}
+
+func TestSweepCachesRuns(t *testing.T) {
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	a, err := s.Sweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("sweep not cached")
+	}
+	if len(a) != len(SubstationCounts) {
+		t.Fatalf("sweep has %d points", len(a))
+	}
+	for i, pt := range a {
+		if pt.Substations != SubstationCounts[i] {
+			t.Fatalf("point %d has %d substations", i, pt.Substations)
+		}
+		if pt.Measured.KVPs != pt.KVPs {
+			t.Fatalf("point %d ingested %d of %d", i, pt.Measured.KVPs, pt.KVPs)
+		}
+	}
+}
+
+func TestAllExperimentsRender(t *testing.T) {
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	if err := s.All(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 8", "Table I", "Figure 10", "Figure 11", "Figure 12",
+		"Figure 13", "Figure 14", "Table II", "Table III",
+		"scaling factors", "per-sensor", "paper",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("combined output missing %q", want)
+		}
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	ids := []string{"fig8", "table1", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "table2", "fig15", "table3", "fig16"}
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	for _, id := range ids {
+		if err := s.Run(id); err != nil {
+			t.Fatalf("Run(%q): %v", id, err)
+		}
+	}
+	if err := s.Run("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable1MarksFloorViolation(t *testing.T) {
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	if err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The 48-substation row must be flagged as violating the 20 kvps/s
+	// floor, like the paper's run.
+	lines := strings.Split(out, "\n")
+	var row48 string
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "48 ") {
+			row48 = l
+		}
+	}
+	if row48 == "" {
+		t.Fatalf("no 48-substation row:\n%s", out)
+	}
+	if !strings.Contains(row48, "NO") {
+		t.Fatalf("48-substation row not flagged: %s", row48)
+	}
+}
+
+func TestFig10ScalingSuperLinear(t *testing.T) {
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	pts, err := s.Sweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := pts[1].Measured.IoTps() / pts[0].Measured.IoTps()
+	if s2 < 2.0 {
+		t.Fatalf("S_2 = %.2f in the experiment harness, want super-linear", s2)
+	}
+}
+
+func TestScaleDivisorDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ScaleDivisor != 100 {
+		t.Fatalf("default ScaleDivisor = %d", o.ScaleDivisor)
+	}
+	oFull := Options{FullScale: true}.withDefaults()
+	if oFull.kvpsFor(1) != PaperKVPs[1] {
+		t.Fatal("full scale must use the paper volumes")
+	}
+	if o.kvpsFor(1) != PaperKVPs[1]/100 {
+		t.Fatal("scaled volume wrong")
+	}
+	if o.kvpsFor(99) != 400_000_000/100 {
+		t.Fatal("unknown substation count should fall back to 400M")
+	}
+}
+
+func TestLiveExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run")
+	}
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	if err := s.Run("live"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Live benchmark", "IoTps", "iteration 2", "passed: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("live output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := testSuite(t, &buf)
+	dir := t.TempDir()
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig8.csv", "table1.csv", "fig10.csv", "fig11.csv", "fig12.csv",
+		"fig13.csv", "fig14.csv", "table2.csv", "table3.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Fatalf("%s has %d lines", name, lines)
+		}
+		// Header plus one row per sweep point for the sweep files.
+		if name != "fig8.csv" && lines != len(SubstationCounts)+1 {
+			t.Fatalf("%s has %d lines, want %d", name, lines, len(SubstationCounts)+1)
+		}
+	}
+	// Spot-check a value: fig11's first row carries the paper reference.
+	data, _ := os.ReadFile(filepath.Join(dir, "fig11.csv"))
+	if !strings.Contains(string(data), "49.000") {
+		t.Fatalf("fig11.csv missing paper reference:\n%s", data)
+	}
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpcxiot/internal/audit"
+	"tpcxiot/internal/metrics"
+	"tpcxiot/internal/testbed"
+)
+
+// Fig8 regenerates Figure 8: bare driver generation throughput and CPU
+// utilisation versus driver count on the paper's 28-core driver host.
+func (s *Suite) Fig8() error {
+	w := s.opts.Out
+	fmt.Fprintf(w, "Figure 8: TPCx-IoT driver generation speed (output to /dev/null)\n")
+	fmt.Fprintf(w, "%8s %8s %16s %16s %10s %8s\n",
+		"drivers", "threads", "kvps/s", "paper kvps/s", "cpu%", "sys%")
+	p := testbed.DefaultHostGenParams()
+	for _, pt := range testbed.HostGenerationSweep(p) {
+		paper := "-"
+		if ref, ok := PaperFig8[pt.Drivers]; ok {
+			paper = fmt.Sprintf("%.0f", ref[0])
+		}
+		fmt.Fprintf(w, "%8d %8d %16.0f %16s %9.1f%% %7.1f%%\n",
+			pt.Drivers, pt.Threads, pt.ThroughputKVPs, paper, pt.CPUUtilPct, pt.SystemPct)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Table1 regenerates Table I: experiment parameters and requirement
+// fulfilment for the 8-node substation sweep.
+func (s *Suite) Table1() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	fmt.Fprintf(w, "Table I: experiment parameters & requirement fulfilment (8 nodes; %s)\n", s.scaleNote())
+	fmt.Fprintf(w, "%6s %12s %10s %10s %12s %12s %10s %10s\n",
+		"substa", "rows", "warmup[s]", "meas[s]", "IoTps", "paperIoTps", "per-sensor", ">=20?")
+	for _, pt := range pts {
+		iotps := pt.Measured.IoTps()
+		perSensor := pt.Measured.PerSensorIoTps(pt.Substations)
+		mark := "yes"
+		if perSensor < audit.MinPerSensorRate {
+			mark = "NO"
+		}
+		fmt.Fprintf(w, "%6d %12d %10.0f %10.0f %12.0f %12.0f %10.1f %10s\n",
+			pt.Substations, pt.KVPs,
+			seconds(pt.Warmup.Elapsed), seconds(pt.Measured.Elapsed),
+			iotps, PaperIoTps[8][pt.Substations], perSensor, mark)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig10 regenerates Figure 10: system-wide IoTps with scaling factors S_i.
+func (s *Suite) Fig10() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	base := pts[0].Measured.IoTps()
+	fmt.Fprintf(w, "Figure 10: system-wide IoTps and scaling factors (8 nodes)\n")
+	fmt.Fprintf(w, "%6s %12s %8s %12s %10s %8s\n",
+		"substa", "IoTps", "S_i", "paperIoTps", "paper S_i", "delta")
+	for _, pt := range pts {
+		iotps := pt.Measured.IoTps()
+		paper := PaperIoTps[8][pt.Substations]
+		fmt.Fprintf(w, "%6d %12.0f %8.1f %12.0f %10.1f %8s\n",
+			pt.Substations, iotps, metrics.ScalingFactor(iotps, base),
+			paper, metrics.ScalingFactor(paper, PaperIoTps[8][1]), pct(iotps, paper))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig11 regenerates Figure 11: per-sensor IoTps against the 20 kvps/s rule.
+func (s *Suite) Fig11() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	fmt.Fprintf(w, "Figure 11: average per-sensor IoTps (8 nodes; execution-rule floor %.0f)\n",
+		audit.MinPerSensorRate)
+	fmt.Fprintf(w, "%6s %12s %12s %8s\n", "substa", "per-sensor", "paper", "valid")
+	for _, pt := range pts {
+		got := pt.Measured.PerSensorIoTps(pt.Substations)
+		valid := "yes"
+		if got < audit.MinPerSensorRate {
+			valid = "NO"
+		}
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %8s\n",
+			pt.Substations, got, PaperPerSensor[pt.Substations], valid)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig12 regenerates Figure 12: average kvps aggregated per query.
+func (s *Suite) Fig12() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	fmt.Fprintf(w, "Figure 12: average readings aggregated per query (8 nodes; floor %.0f)\n",
+		audit.MinRowsPerQuery)
+	fmt.Fprintf(w, "%6s %12s %12s %8s\n", "substa", "rows/query", "queries", "valid")
+	for _, pt := range pts {
+		rows := pt.Measured.AvgRowsPerQuery
+		valid := "yes"
+		if rows < audit.MinRowsPerQuery {
+			valid = "NO"
+		}
+		fmt.Fprintf(w, "%6d %12.1f %12d %8s\n",
+			pt.Substations, rows, pt.Measured.Queries, valid)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig13 regenerates Figure 13: average system-wide query elapsed time.
+func (s *Suite) Fig13() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	fmt.Fprintf(w, "Figure 13: average query elapsed time (8 nodes)\n")
+	fmt.Fprintf(w, "%6s %12s %12s %8s\n", "substa", "avg[ms]", "paper[ms]", "delta")
+	for _, pt := range pts {
+		got := pt.Measured.QueryLatency.Mean() / 1e6
+		paper := PaperQueryAvgMS[pt.Substations]
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %8s\n", pt.Substations, got, paper, pct(got, paper))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig14 regenerates Figure 14: min/max/avg query latency with the
+// coefficient of variation, plus the 95th percentiles the paper discusses.
+func (s *Suite) Fig14() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	fmt.Fprintf(w, "Figure 14: query latency distribution (8 nodes)\n")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %8s %10s %12s\n",
+		"substa", "min[ms]", "avg[ms]", "max[ms]", "CV", "p95[ms]", "paper p95")
+	for _, pt := range pts {
+		q := pt.Measured.QueryLatency
+		fmt.Fprintf(w, "%6d %10.1f %10.1f %10.0f %8.2f %10.1f %12.0f\n",
+			pt.Substations,
+			float64(q.Min())/1e6, q.Mean()/1e6, float64(q.Max())/1e6,
+			q.CV(), float64(q.Percentile(95))/1e6, PaperQueryP95MS[pt.Substations])
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Table2 regenerates Table II (and Figure 15): per-substation ingest-time
+// skew.
+func (s *Suite) Table2() error {
+	pts, err := s.Sweep(8)
+	if err != nil {
+		return err
+	}
+	w := s.opts.Out
+	fmt.Fprintf(w, "Table II / Figure 15: per-substation ingest time skew (8 nodes; %s)\n", s.scaleNote())
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %10s %12s\n",
+		"substa", "min[s]", "max[s]", "avg[s]", "diff[s]", "diff%", "paper diff%")
+	for _, pt := range pts {
+		min, max, avg := pt.Measured.IngestSkew()
+		rel := 0.0
+		if min > 0 {
+			rel = 100 * float64(max-min) / float64(min)
+		}
+		ps := PaperIngestSkew[pt.Substations]
+		paperRel := 0.0
+		if ps[0] > 0 {
+			paperRel = 100 * (ps[1] - ps[0]) / ps[0]
+		}
+		fmt.Fprintf(w, "%6d %10.0f %10.0f %10.0f %10.0f %9.0f%% %11.0f%%\n",
+			pt.Substations, seconds(min), seconds(max), seconds(avg),
+			seconds(max-min), rel, paperRel)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Table3 regenerates Table III (and Figure 16): the scale-out comparison of
+// 2-, 4- and 8-node clusters.
+func (s *Suite) Table3() error {
+	w := s.opts.Out
+	fmt.Fprintf(w, "Table III / Figure 16: system-wide and per-sensor IoTps, 2/4/8 nodes (%s)\n", s.scaleNote())
+	fmt.Fprintf(w, "%6s | %10s %10s %8s | %10s %10s %8s | %10s %10s %8s\n",
+		"substa",
+		"2-node", "paper", "delta",
+		"4-node", "paper", "delta",
+		"8-node", "paper", "delta")
+	sweeps := map[int][]Point{}
+	for _, n := range []int{2, 4, 8} {
+		pts, err := s.Sweep(n)
+		if err != nil {
+			return err
+		}
+		sweeps[n] = pts
+	}
+	for i, sub := range SubstationCounts {
+		row := fmt.Sprintf("%6d", sub)
+		for _, n := range []int{2, 4, 8} {
+			got := sweeps[n][i].Measured.IoTps()
+			paper := PaperIoTps[n][sub]
+			row += fmt.Sprintf(" | %10.0f %10.0f %8s", got, paper, pct(got, paper))
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "\nper-sensor IoTps:\n")
+	for i, sub := range SubstationCounts {
+		row := fmt.Sprintf("%6d", sub)
+		for _, n := range []int{2, 4, 8} {
+			row += fmt.Sprintf(" | %10.1f", sweeps[n][i].Measured.PerSensorIoTps(sub))
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// All regenerates every table and figure in paper order.
+func (s *Suite) All() error {
+	steps := []func() error{
+		s.Fig8, s.Table1, s.Fig10, s.Fig11, s.Fig12, s.Fig13, s.Fig14,
+		s.Table2, s.Table3,
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the experiment with the given id ("fig8", "table1", "fig10",
+// "fig11", "fig12", "fig13", "fig14", "table2", "fig15", "table3", "fig16",
+// or "all").
+func (s *Suite) Run(id string) error {
+	switch id {
+	case "fig8":
+		return s.Fig8()
+	case "table1":
+		return s.Table1()
+	case "fig10":
+		return s.Fig10()
+	case "fig11":
+		return s.Fig11()
+	case "fig12":
+		return s.Fig12()
+	case "fig13":
+		return s.Fig13()
+	case "fig14":
+		return s.Fig14()
+	case "table2", "fig15":
+		return s.Table2()
+	case "table3", "fig16":
+		return s.Table3()
+	case "live":
+		return s.Live()
+	case "all":
+		return s.All()
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// IntGenerator produces a stream of int64 values. It is the building block
+// for key-choosing distributions in the YCSB-style workload layer.
+type IntGenerator interface {
+	// Next returns the next value in the stream.
+	Next() int64
+	// Last returns the most recently generated value without advancing.
+	Last() int64
+}
+
+// Counter is a monotonically increasing generator, safe for concurrent use.
+// It is used to hand out unique insertion ordinals to driver threads.
+type Counter struct {
+	next atomic.Int64
+	last atomic.Int64
+}
+
+// NewCounter returns a Counter whose first Next value is start.
+func NewCounter(start int64) *Counter {
+	c := &Counter{}
+	c.next.Store(start)
+	c.last.Store(start - 1)
+	return c
+}
+
+// Next returns the next ordinal.
+func (c *Counter) Next() int64 {
+	v := c.next.Add(1) - 1
+	c.last.Store(v)
+	return v
+}
+
+// Last returns the most recently issued ordinal.
+func (c *Counter) Last() int64 { return c.last.Load() }
+
+// Uniform generates values uniformly distributed in [lo, hi].
+type Uniform struct {
+	lo, hi int64
+	rng    *RNG
+	last   int64
+}
+
+// NewUniform returns a uniform generator over the inclusive range [lo, hi].
+// It panics if hi < lo.
+func NewUniform(rng *RNG, lo, hi int64) *Uniform {
+	if hi < lo {
+		panic(fmt.Sprintf("gen: NewUniform with hi %d < lo %d", hi, lo))
+	}
+	return &Uniform{lo: lo, hi: hi, rng: rng, last: lo}
+}
+
+// Next returns the next uniform value.
+func (u *Uniform) Next() int64 {
+	u.last = u.lo + u.rng.Int63n(u.hi-u.lo+1)
+	return u.last
+}
+
+// Last returns the most recent value.
+func (u *Uniform) Last() int64 { return u.last }
+
+// Zipfian generates values in [0, n) with a Zipfian (power-law) popularity
+// distribution, matching YCSB's ZipfianGenerator (Gray et al.'s algorithm).
+// Classic YCSB workloads use it for read hot-spotting; TPCx-IoT itself uses
+// uniform interval selection but the framework keeps Zipfian available for
+// custom workloads and for framework tests.
+type Zipfian struct {
+	rng *RNG
+
+	items          int64
+	base           int64
+	constant       float64
+	alpha          float64
+	zetan          float64
+	eta            float64
+	theta          float64
+	zeta2theta     float64
+	countForZeta   int64
+	allowItemCount bool
+	last           int64
+}
+
+// ZipfianConstant is the default skew used by YCSB.
+const ZipfianConstant = 0.99
+
+// NewZipfian returns a Zipfian generator over [0, n) with the default skew.
+func NewZipfian(rng *RNG, n int64) *Zipfian {
+	return NewZipfianWithConstant(rng, n, ZipfianConstant)
+}
+
+// NewZipfianWithConstant returns a Zipfian generator over [0, n) with the
+// given skew constant. It panics for n <= 0 or a constant of exactly 1.
+func NewZipfianWithConstant(rng *RNG, n int64, constant float64) *Zipfian {
+	if n <= 0 {
+		panic("gen: NewZipfian with non-positive n")
+	}
+	z := &Zipfian{
+		rng:          rng,
+		items:        n,
+		base:         0,
+		constant:     constant,
+		theta:        constant,
+		countForZeta: n,
+	}
+	z.zeta2theta = zetaStatic(2, constant)
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.zetan = zetaStatic(n, constant)
+	z.eta = (1 - powf(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	z.Next()
+	return z
+}
+
+// Next returns the next Zipf-distributed value.
+func (z *Zipfian) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var v int64
+	switch {
+	case uz < 1.0:
+		v = z.base
+	case uz < 1.0+powf(0.5, z.theta):
+		v = z.base + 1
+	default:
+		v = z.base + int64(float64(z.items)*powf(z.eta*u-z.eta+1, z.alpha))
+	}
+	if v >= z.base+z.items {
+		v = z.base + z.items - 1
+	}
+	z.last = v
+	return v
+}
+
+// Last returns the most recent value.
+func (z *Zipfian) Last() int64 { return z.last }
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1 / powf(float64(i+1), theta)
+	}
+	return sum
+}
+
+func powf(x, y float64) float64 {
+	// x^y = exp(y ln x); delegate to math via small wrapper kept local so
+	// callers in this file read naturally.
+	return mathPow(x, y)
+}
+
+// Discrete picks among a fixed set of values with given weights. The TPCx-IoT
+// query workload uses it to choose uniformly among the four query templates;
+// the weights make it reusable for skewed operation mixes.
+type Discrete struct {
+	rng     *RNG
+	values  []int64
+	cum     []float64
+	total   float64
+	lastVal int64
+}
+
+// NewDiscrete returns a generator choosing values[i] with probability
+// weights[i]/sum(weights). It panics on mismatched lengths, empty input, or
+// non-positive total weight.
+func NewDiscrete(rng *RNG, values []int64, weights []float64) *Discrete {
+	if len(values) == 0 || len(values) != len(weights) {
+		panic("gen: NewDiscrete with empty or mismatched values/weights")
+	}
+	d := &Discrete{rng: rng, values: append([]int64(nil), values...)}
+	d.cum = make([]float64, len(weights))
+	running := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("gen: NewDiscrete with negative weight")
+		}
+		running += w
+		d.cum[i] = running
+	}
+	if running <= 0 {
+		panic("gen: NewDiscrete with non-positive total weight")
+	}
+	d.total = running
+	return d
+}
+
+// Next returns the next weighted choice.
+func (d *Discrete) Next() int64 {
+	x := d.rng.Float64() * d.total
+	i := sort.SearchFloat64s(d.cum, x)
+	if i >= len(d.values) {
+		i = len(d.values) - 1
+	}
+	d.lastVal = d.values[i]
+	return d.lastVal
+}
+
+// Last returns the most recent choice.
+func (d *Discrete) Last() int64 { return d.lastVal }

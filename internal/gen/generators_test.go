@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSequential(t *testing.T) {
+	c := NewCounter(10)
+	for want := int64(10); want < 20; want++ {
+		if got := c.Next(); got != want {
+			t.Fatalf("Next = %d, want %d", got, want)
+		}
+		if got := c.Last(); got != want {
+			t.Fatalf("Last = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestCounterConcurrentUnique(t *testing.T) {
+	c := NewCounter(0)
+	const workers = 8
+	const perWorker = 1000
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := make([]int64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				vals = append(vals, c.Next())
+			}
+			results[w] = vals
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*perWorker)
+	for _, vals := range results {
+		for _, v := range vals {
+			if seen[v] {
+				t.Fatalf("duplicate ordinal %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("issued %d ordinals, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(NewRNG(1), 5, 15)
+	for i := 0; i < 10000; i++ {
+		v := u.Next()
+		if v < 5 || v > 15 {
+			t.Fatalf("uniform value %d outside [5,15]", v)
+		}
+		if u.Last() != v {
+			t.Fatalf("Last %d != Next %d", u.Last(), v)
+		}
+	}
+}
+
+func TestUniformCoversRange(t *testing.T) {
+	u := NewUniform(NewRNG(2), 0, 9)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform over 10 values hit only %d", len(seen))
+	}
+}
+
+func TestUniformSingleton(t *testing.T) {
+	u := NewUniform(NewRNG(3), 7, 7)
+	for i := 0; i < 10; i++ {
+		if v := u.Next(); v != 7 {
+			t.Fatalf("singleton uniform returned %d", v)
+		}
+	}
+}
+
+func TestUniformPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	NewUniform(NewRNG(4), 10, 5)
+}
+
+func TestZipfianBounds(t *testing.T) {
+	z := NewZipfian(NewRNG(5), 1000)
+	f := func(uint8) bool {
+		v := z.Next()
+		return v >= 0 && v < 1000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(NewRNG(6), 10000)
+	const n = 100000
+	low := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 100 {
+			low++
+		}
+	}
+	// With theta=0.99 over 10k items, the first 1% of items should receive
+	// well over a third of the mass.
+	if frac := float64(low) / n; frac < 0.35 {
+		t.Fatalf("zipfian head mass %.3f, want > 0.35", frac)
+	}
+}
+
+func TestZipfianPanicsOnZeroItems(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n = 0")
+		}
+	}()
+	NewZipfian(NewRNG(7), 0)
+}
+
+func TestDiscreteWeights(t *testing.T) {
+	d := NewDiscrete(NewRNG(8), []int64{1, 2, 3}, []float64{1, 1, 2})
+	counts := map[int64]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		v := d.Next()
+		counts[v]++
+		if d.Last() != v {
+			t.Fatal("Last does not track Next")
+		}
+	}
+	if counts[1]+counts[2]+counts[3] != n {
+		t.Fatalf("unexpected values: %v", counts)
+	}
+	p3 := float64(counts[3]) / n
+	if p3 < 0.45 || p3 > 0.55 {
+		t.Fatalf("value 3 frequency %.3f, want ~0.5", p3)
+	}
+}
+
+func TestDiscretePanicsOnBadInput(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []int64
+		weights []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatched", []int64{1}, []float64{1, 2}},
+		{"negative", []int64{1}, []float64{-1}},
+		{"zero-total", []int64{1, 2}, []float64{0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %s", tc.name)
+				}
+			}()
+			NewDiscrete(NewRNG(9), tc.values, tc.weights)
+		})
+	}
+}
+
+func TestTextAlphabetAndLength(t *testing.T) {
+	r := NewRNG(10)
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 955, 970} {
+		buf := Text(r, make([]byte, n))
+		if len(buf) != n {
+			t.Fatalf("Text length %d, want %d", len(buf), n)
+		}
+		for i, b := range buf {
+			if !strings.ContainsRune(paddingAlphabet, rune(b)) {
+				t.Fatalf("byte %q at %d outside alphabet", b, i)
+			}
+		}
+	}
+}
+
+func TestTextDeterministic(t *testing.T) {
+	a := TextString(NewRNG(11), 256)
+	b := TextString(NewRNG(11), 256)
+	if a != b {
+		t.Fatal("Text is not deterministic for equal seeds")
+	}
+}
+
+func TestDigits(t *testing.T) {
+	r := NewRNG(12)
+	buf := Digits(r, make([]byte, 100))
+	for i, b := range buf {
+		if b < '0' || b > '9' {
+			t.Fatalf("non-digit %q at %d", b, i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package hbase
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("hbase: client is closed")
+
+// Client is a table handle with a client-side write buffer, the analogue of
+// an HBase Table/BufferedMutator pair. Puts accumulate per region until the
+// buffer exceeds WriteBufferBytes (hbase.client.write.buffer) and are then
+// shipped as one batched RPC per region. A Client is NOT safe for
+// concurrent use — create one per worker goroutine, exactly as YCSB binds
+// one HBase client per driver thread.
+type Client struct {
+	table *Table
+	rpc   transport
+
+	// WriteBufferBytes is the autoflush threshold. Non-positive disables
+	// buffering (every Put flushes immediately).
+	writeBufferBytes int64
+
+	buffers  map[*tableRegion][]Mutation
+	buffered int64
+	closed   bool
+}
+
+// NewClient returns an in-process client for the table with the given
+// write buffer size in bytes. The paper's tuning sets an 8 GB client
+// buffer; realistic values here are a few MiB.
+func (cl *Cluster) NewClient(tableName string, writeBufferBytes int64) (*Client, error) {
+	return cl.newClient(tableName, writeBufferBytes, inprocTransport{})
+}
+
+// NewTCPClient returns a client that reaches the region servers over the
+// loopback TCP wire protocol. The cluster must be serving (ServeTCP).
+func (cl *Cluster) NewTCPClient(tableName string, writeBufferBytes int64) (*Client, error) {
+	rpc, err := newTCPTransport(cl)
+	if err != nil {
+		return nil, err
+	}
+	return cl.newClient(tableName, writeBufferBytes, rpc)
+}
+
+func (cl *Cluster) newClient(tableName string, writeBufferBytes int64, rpc transport) (*Client, error) {
+	t, err := cl.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		table:            t,
+		rpc:              rpc,
+		writeBufferBytes: writeBufferBytes,
+		buffers:          make(map[*tableRegion][]Mutation),
+	}, nil
+}
+
+// Put buffers a write. The key and value are copied.
+func (c *Client) Put(key, value []byte) error {
+	return c.buffer(Mutation{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
+}
+
+// Delete buffers a tombstone.
+func (c *Client) Delete(key []byte) error {
+	return c.buffer(Mutation{Key: append([]byte(nil), key...), Delete: true})
+}
+
+func (c *Client) buffer(m Mutation) error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	tr := c.table.locate(m.Key)
+	c.buffers[tr] = append(c.buffers[tr], m)
+	c.buffered += int64(len(m.Key) + len(m.Value))
+	if c.buffered >= c.writeBufferBytes {
+		return c.FlushCommits()
+	}
+	return nil
+}
+
+// FlushCommits ships all buffered mutations, one batched RPC per region.
+func (c *Client) FlushCommits() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	for tr, batch := range c.buffers {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := c.rpc.mutate(tr, batch); err != nil {
+			return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
+		}
+		delete(c.buffers, tr)
+	}
+	c.buffered = 0
+	return nil
+}
+
+// BufferedBytes reports the current client-side buffer occupancy.
+func (c *Client) BufferedBytes() int64 { return c.buffered }
+
+// Get reads one key from the region's primary, after flushing any buffered
+// write of that key so the client reads its own writes.
+func (c *Client) Get(key []byte) ([]byte, bool, error) {
+	if c.closed {
+		return nil, false, ErrClientClosed
+	}
+	tr := c.table.locate(key)
+	if len(c.buffers[tr]) > 0 {
+		if err := c.FlushCommits(); err != nil {
+			return nil, false, err
+		}
+	}
+	return c.rpc.get(tr, key)
+}
+
+// Scan reads all rows with lo <= key < hi (nil hi scans to the table end),
+// visiting every overlapping region in key order. limit <= 0 is unlimited;
+// with a limit the scan stops after that many rows. Buffered writes are
+// flushed first so the scan observes them.
+func (c *Client) Scan(lo, hi []byte, limit int) ([]Row, error) {
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if c.buffered > 0 {
+		if err := c.FlushCommits(); err != nil {
+			return nil, err
+		}
+	}
+	var out []Row
+	for _, tr := range c.table.regions {
+		if !rangesOverlap(lo, hi, tr.info.StartKey, tr.info.EndKey) {
+			continue
+		}
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - len(out)
+			if remaining <= 0 {
+				break
+			}
+		}
+		rows, err := c.rpc.scan(tr, lo, hi, remaining)
+		if err != nil {
+			return nil, fmt.Errorf("hbase: scan %s: %w", tr.info.Name, err)
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// rangesOverlap reports whether scan range [lo,hi) intersects region range
+// [start,end), treating nil as unbounded.
+func rangesOverlap(lo, hi, start, end []byte) bool {
+	if hi != nil && start != nil && bytes.Compare(hi, start) <= 0 {
+		return false
+	}
+	if end != nil && lo != nil && bytes.Compare(lo, end) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Close flushes outstanding writes, releases the transport and invalidates
+// the client.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	err := c.FlushCommits()
+	c.closed = true
+	if cerr := c.rpc.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

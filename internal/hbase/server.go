@@ -1,0 +1,158 @@
+package hbase
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/region"
+	"tpcxiot/internal/replication"
+)
+
+// RegionServer hosts region replicas and bounds request concurrency with a
+// handler pool, mirroring hbase.regionserver.handler.count.
+type RegionServer struct {
+	id       int
+	dir      string
+	handlers chan struct{}
+
+	mu      sync.RWMutex
+	regions map[string]*region.Region // every replica hosted here
+
+	requests  atomic.Int64
+	mutations atomic.Int64
+	rowsRead  atomic.Int64
+}
+
+// ServerStats is a snapshot of one server's counters.
+type ServerStats struct {
+	ID        int
+	Regions   int
+	Requests  int64
+	Mutations int64
+	RowsRead  int64
+}
+
+func newRegionServer(id int, dir string, handlerCount int) *RegionServer {
+	return &RegionServer{
+		id:       id,
+		dir:      dir,
+		handlers: make(chan struct{}, handlerCount),
+		regions:  make(map[string]*region.Region),
+	}
+}
+
+// ID returns the server's index in the cluster.
+func (s *RegionServer) ID() int { return s.id }
+
+// acquire blocks until a handler is free; release returns it.
+func (s *RegionServer) acquire() { s.handlers <- struct{}{} }
+func (s *RegionServer) release() { <-s.handlers }
+
+// openRegion creates or reopens a region replica on this server.
+func (s *RegionServer) openRegion(info region.Info, storeOpts lsm.Options) (*region.Region, error) {
+	r, err := region.Open(info, s.dir, storeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("hbase: server %d: %w", s.id, err)
+	}
+	s.mu.Lock()
+	s.regions[info.Name] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// forgetRegion drops the routing entry for a destroyed region.
+func (s *RegionServer) forgetRegion(name string) {
+	s.mu.Lock()
+	delete(s.regions, name)
+	s.mu.Unlock()
+}
+
+// Mutation is one write in a batched RPC.
+type Mutation struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// mutate is the server-side write RPC: the whole batch executes under one
+// handler slot and each mutation flows through the region's replication
+// pipeline before the next is applied.
+func (s *RegionServer) mutate(g *replication.Group, batch []Mutation) error {
+	s.acquire()
+	defer s.release()
+	s.requests.Add(1)
+	for _, m := range batch {
+		var err error
+		if m.Delete {
+			err = g.Delete(m.Key)
+		} else {
+			err = g.Put(m.Key, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+		s.mutations.Add(1)
+	}
+	return nil
+}
+
+// get is the server-side point-read RPC, served from the primary replica.
+func (s *RegionServer) get(r *region.Region, key []byte) ([]byte, bool, error) {
+	s.acquire()
+	defer s.release()
+	s.requests.Add(1)
+	v, ok, err := r.Get(key)
+	if ok {
+		s.rowsRead.Add(1)
+	}
+	return v, ok, err
+}
+
+// Row is one key-value pair returned by a scan RPC.
+type Row struct {
+	Key   []byte
+	Value []byte
+}
+
+// scan is the server-side range-read RPC over [lo, hi); limit <= 0 means
+// unlimited. Results are copies, safe to retain.
+func (s *RegionServer) scan(r *region.Region, lo, hi []byte, limit int) ([]Row, error) {
+	s.acquire()
+	defer s.release()
+	s.requests.Add(1)
+	var rows []Row
+	err := r.Scan(lo, hi, func(k, v []byte) error {
+		rows = append(rows, Row{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		if limit > 0 && len(rows) >= limit {
+			return errScanLimit
+		}
+		return nil
+	})
+	if err == errScanLimit {
+		err = nil
+	}
+	s.rowsRead.Add(int64(len(rows)))
+	return rows, err
+}
+
+// errScanLimit terminates a limited scan early; never returned to callers.
+var errScanLimit = fmt.Errorf("hbase: scan limit reached")
+
+// Stats snapshots the server's counters.
+func (s *RegionServer) Stats() ServerStats {
+	s.mu.RLock()
+	regions := len(s.regions)
+	s.mu.RUnlock()
+	return ServerStats{
+		ID:        s.id,
+		Regions:   regions,
+		Requests:  s.requests.Load(),
+		Mutations: s.mutations.Load(),
+		RowsRead:  s.rowsRead.Load(),
+	}
+}

@@ -1,0 +1,145 @@
+package hbase
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"tpcxiot/internal/region"
+	"tpcxiot/internal/replication"
+)
+
+// Sentinel errors for split administration.
+var (
+	ErrBadSplitKey = errors.New("hbase: split key outside region or at its boundary")
+)
+
+// SplitRegion splits the region containing splitKey into two children at
+// that key, on every replica, and installs the children in the routing
+// table. It is an administrative operation: run it without concurrent
+// clients (clients caching the parent's routing will fail and must be
+// recreated, the analogue of HBase's NotServingRegionException).
+//
+// TPCx-IoT deployments pre-split instead of splitting under load; this
+// operation exists for completeness (growing a table beyond its original
+// layout) and for split-policy experiments.
+func (cl *Cluster) SplitRegion(table string, splitKey []byte) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return ErrClusterClosed
+	}
+	t, ok := cl.tables[table]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+
+	// Locate the parent region.
+	idx := 0
+	for idx < len(t.splits) && bytes.Compare(splitKey, t.splits[idx]) >= 0 {
+		idx++
+	}
+	parent := t.regions[idx]
+	if !parent.info.Contains(splitKey) ||
+		(parent.info.StartKey != nil && bytes.Equal(splitKey, parent.info.StartKey)) {
+		return fmt.Errorf("%w: %q in %s", ErrBadSplitKey, splitKey, parent.info)
+	}
+
+	// Split every replica on its own server, collecting the children.
+	type pair struct {
+		srv         *RegionServer
+		left, right *region.Region
+	}
+	var pairs []pair
+	rollback := func() {
+		for _, p := range pairs {
+			p.left.Destroy()
+			p.right.Destroy()
+			p.srv.forgetRegion(p.left.Info().Name)
+			p.srv.forgetRegion(p.right.Info().Name)
+		}
+	}
+	for _, rep := range parent.replicas {
+		srv := cl.serverHosting(rep)
+		if srv == nil {
+			rollback()
+			return fmt.Errorf("hbase: no server hosts replica %s", rep.Info().Name)
+		}
+		left, right, err := rep.Split(splitKey, srv.dir, cl.cfg.Store)
+		if err != nil {
+			rollback()
+			return fmt.Errorf("hbase: split %s on server %d: %w", rep.Info().Name, srv.id, err)
+		}
+		srv.adoptRegion(left)
+		srv.adoptRegion(right)
+		pairs = append(pairs, pair{srv: srv, left: left, right: right})
+	}
+
+	// Build the two routing entries; the children inherit the parent's
+	// placement (primary first in replicas by construction).
+	leftTR := &tableRegion{info: pairs[0].left.Info(), primary: parent.primary}
+	rightTR := &tableRegion{info: pairs[0].right.Info(), primary: parent.primary}
+	var leftAppliers, rightAppliers []replication.Applier
+	for _, p := range pairs {
+		leftTR.replicas = append(leftTR.replicas, p.left)
+		rightTR.replicas = append(rightTR.replicas, p.right)
+		leftAppliers = append(leftAppliers, p.left.Store())
+		rightAppliers = append(rightAppliers, p.right.Store())
+	}
+	leftTR.group = replication.NewGroup(leftAppliers[0], leftAppliers[1:]...)
+	rightTR.group = replication.NewGroup(rightAppliers[0], rightAppliers[1:]...)
+
+	// Install: splice the children in place of the parent and record the
+	// new boundary.
+	t.regions = append(t.regions[:idx],
+		append([]*tableRegion{leftTR, rightTR}, t.regions[idx+1:]...)...)
+	t.splits = append(t.splits[:idx],
+		append([][]byte{append([]byte(nil), splitKey...)}, t.splits[idx:]...)...)
+
+	// Retire the parent.
+	var firstErr error
+	for _, rep := range parent.replicas {
+		if srv := cl.serverHosting(rep); srv != nil {
+			srv.forgetRegion(rep.Info().Name)
+		}
+		if err := rep.Destroy(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// serverHosting finds the server whose region map holds this replica.
+func (cl *Cluster) serverHosting(r *region.Region) *RegionServer {
+	name := r.Info().Name
+	for _, srv := range cl.servers {
+		srv.mu.RLock()
+		hosted, ok := srv.regions[name]
+		srv.mu.RUnlock()
+		if ok && hosted == r {
+			return srv
+		}
+	}
+	return nil
+}
+
+// adoptRegion registers an already-open region on the server.
+func (s *RegionServer) adoptRegion(r *region.Region) {
+	s.mu.Lock()
+	s.regions[r.Info().Name] = r
+	s.mu.Unlock()
+}
+
+// MedianSplitKey returns the median key of the region containing sample,
+// the split point a size-based policy would choose. Exposed so operators
+// (and tests) can split where the data actually is.
+func (cl *Cluster) MedianSplitKey(table string, sample []byte) ([]byte, error) {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	t, ok := cl.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	tr := t.locate(sample)
+	return tr.replicas[0].SplitPoint()
+}

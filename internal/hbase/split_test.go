@@ -1,0 +1,137 @@
+package hbase
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSplitRegionRedistributesData(t *testing.T) {
+	cl, c := newTestCluster(t, 4, nil)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, _ := cl.Table("iot")
+	if tbl.RegionCount() != 1 {
+		t.Fatalf("precondition: %d regions", tbl.RegionCount())
+	}
+
+	mid, err := cl.MedianSplitKey("iot", []byte("k0000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mid) != fmt.Sprintf("k%04d", n/2) {
+		t.Fatalf("median split key = %q", mid)
+	}
+	if err := cl.SplitRegion("iot", mid); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RegionCount() != 2 {
+		t.Fatalf("RegionCount after split = %d", tbl.RegionCount())
+	}
+
+	// A fresh client sees all data, correctly routed across the children.
+	c2, err := cl.NewClient("iot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rows, err := c2.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n {
+		t.Fatalf("post-split scan = %d rows, want %d", len(rows), n)
+	}
+	for i := 1; i < len(rows); i++ {
+		if bytes.Compare(rows[i-1].Key, rows[i].Key) >= 0 {
+			t.Fatal("post-split scan out of order")
+		}
+	}
+	// Point reads on both sides, and new writes route to the children.
+	for _, k := range []string{"k0010", "k0350"} {
+		if _, ok, err := c2.Get([]byte(k)); err != nil || !ok {
+			t.Fatalf("Get(%q) after split: %v", k, err)
+		}
+	}
+	if err := c2.Put([]byte("k0005a"), []byte("new-left")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Put([]byte("k0399a"), []byte("new-right")); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RegionFor([]byte("k0005a")) == tbl.RegionFor([]byte("k0399a")) {
+		t.Fatal("post-split writes landed in the same region")
+	}
+}
+
+func TestSplitRegionPreservesReplication(t *testing.T) {
+	cl, c := newTestCluster(t, 5, nil)
+	for i := 0; i < 100; i++ {
+		c.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	if err := cl.SplitRegion("iot", []byte("k050")); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cl.Table("iot")
+	for _, tr := range tbl.regions {
+		if tr.group.Factor() != 3 {
+			t.Fatalf("child %s has factor %d", tr.info.Name, tr.group.Factor())
+		}
+		// Every replica holds the child's full data.
+		var counts []int
+		for _, rep := range tr.replicas {
+			count := 0
+			if err := rep.Scan(nil, nil, func(k, v []byte) error { count++; return nil }); err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, count)
+		}
+		for _, ct := range counts[1:] {
+			if ct != counts[0] {
+				t.Fatalf("child %s replicas diverge: %v", tr.info.Name, counts)
+			}
+		}
+		if counts[0] != 50 {
+			t.Fatalf("child %s holds %d rows, want 50", tr.info.Name, counts[0])
+		}
+	}
+}
+
+func TestSplitRegionValidation(t *testing.T) {
+	cl, c := newTestCluster(t, 3, [][]byte{[]byte("m")})
+	c.Put([]byte("a"), []byte("v"))
+	if err := cl.SplitRegion("nope", []byte("x")); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("unknown table: %v", err)
+	}
+	// Splitting at an existing boundary is rejected.
+	if err := cl.SplitRegion("iot", []byte("m")); !errors.Is(err, ErrBadSplitKey) {
+		t.Fatalf("boundary split: %v", err)
+	}
+}
+
+func TestSplitThenSplitAgain(t *testing.T) {
+	cl, c := newTestCluster(t, 3, nil)
+	for i := 0; i < 300; i++ {
+		c.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	if err := cl.SplitRegion("iot", []byte("k0100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SplitRegion("iot", []byte("k0200")); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cl.Table("iot")
+	if tbl.RegionCount() != 3 {
+		t.Fatalf("RegionCount = %d after two splits", tbl.RegionCount())
+	}
+	c2, _ := cl.NewClient("iot", 0)
+	rows, err := c2.Scan(nil, nil, 0)
+	if err != nil || len(rows) != 300 {
+		t.Fatalf("scan after repeated splits: %d rows, %v", len(rows), err)
+	}
+}

@@ -1,0 +1,223 @@
+package hbase
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrNoTCP is returned when TCP clients are requested before ServeTCP.
+var ErrNoTCP = errors.New("hbase: cluster is not serving TCP")
+
+// tcpState holds the cluster's network listeners.
+type tcpState struct {
+	listeners []net.Listener
+	addrs     []string
+	wg        sync.WaitGroup
+}
+
+// ServeTCP starts one loopback TCP listener per region server, making the
+// cluster reachable over the wire protocol. Call before creating TCP
+// clients; Close (or the returned stop function) shuts the listeners down.
+func (cl *Cluster) ServeTCP() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return ErrClusterClosed
+	}
+	if cl.tcp != nil {
+		return nil
+	}
+	st := &tcpState{}
+	for _, srv := range cl.servers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.stop()
+			return fmt.Errorf("hbase: listen for server %d: %w", srv.ID(), err)
+		}
+		st.listeners = append(st.listeners, ln)
+		st.addrs = append(st.addrs, ln.Addr().String())
+		st.wg.Add(1)
+		go cl.acceptLoop(st, ln, srv)
+	}
+	cl.tcp = st
+	return nil
+}
+
+func (st *tcpState) stop() {
+	for _, ln := range st.listeners {
+		ln.Close()
+	}
+}
+
+// ServerAddrs returns the TCP address of each region server, index-aligned
+// with Servers(). Empty until ServeTCP.
+func (cl *Cluster) ServerAddrs() []string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	if cl.tcp == nil {
+		return nil
+	}
+	return append([]string(nil), cl.tcp.addrs...)
+}
+
+func (cl *Cluster) acceptLoop(st *tcpState, ln net.Listener, srv *RegionServer) {
+	defer st.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go cl.serveConn(conn, srv)
+	}
+}
+
+// serveConn handles one client connection: a loop of request frames.
+func (cl *Cluster) serveConn(conn net.Conn, srv *RegionServer) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 256<<10)
+	w := bufio.NewWriterSize(conn, 256<<10)
+	var req frameReader
+	var resp frameWriter
+	for {
+		if err := req.readFrame(r); err != nil {
+			return // EOF or broken frame: drop the connection
+		}
+		cl.dispatch(&req, &resp, srv)
+		if err := resp.flush(w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the server and builds the response.
+func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServer) {
+	fail := func(err error) {
+		resp.reset(statusErr)
+		resp.str(err.Error())
+	}
+	regionName, err := req.str()
+	if err != nil {
+		fail(err)
+		return
+	}
+	tr := cl.findRegion(regionName)
+	if tr == nil {
+		fail(fmt.Errorf("hbase: unknown region %q", regionName))
+		return
+	}
+
+	switch req.op {
+	case opMutate:
+		n, err := req.uvarint()
+		if err != nil {
+			fail(err)
+			return
+		}
+		batch := make([]Mutation, 0, n)
+		for i := uint64(0); i < n; i++ {
+			del, err := req.uvarint()
+			if err != nil {
+				fail(err)
+				return
+			}
+			key, err := req.bytes()
+			if err != nil {
+				fail(err)
+				return
+			}
+			value, err := req.bytes()
+			if err != nil {
+				fail(err)
+				return
+			}
+			batch = append(batch, Mutation{
+				Key:    append([]byte(nil), key...),
+				Value:  append([]byte(nil), value...),
+				Delete: del == 1,
+			})
+		}
+		if err := srv.mutate(tr.group, batch); err != nil {
+			fail(err)
+			return
+		}
+		resp.reset(statusOK)
+
+	case opGet:
+		key, err := req.bytes()
+		if err != nil {
+			fail(err)
+			return
+		}
+		v, ok, err := srv.get(tr.replicas[0], key)
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.reset(statusOK)
+		if ok {
+			resp.uvarint(1)
+			resp.bytes(v)
+		} else {
+			resp.uvarint(0)
+		}
+
+	case opScan:
+		lo, err := req.optBytes()
+		if err != nil {
+			fail(err)
+			return
+		}
+		hi, err := req.optBytes()
+		if err != nil {
+			fail(err)
+			return
+		}
+		limit, err := req.uvarint()
+		if err != nil {
+			fail(err)
+			return
+		}
+		rows, err := srv.scan(tr.replicas[0], lo, hi, int(limit))
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.reset(statusOK)
+		resp.uvarint(uint64(len(rows)))
+		for _, row := range rows {
+			resp.bytes(row.Key)
+			resp.bytes(row.Value)
+		}
+
+	default:
+		fail(fmt.Errorf("hbase: unknown opcode %d", req.op))
+	}
+}
+
+// findRegion resolves a region name to its routing entry.
+func (cl *Cluster) findRegion(name string) *tableRegion {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	for _, t := range cl.tables {
+		for _, tr := range t.regions {
+			if tr.info.Name == name {
+				return tr
+			}
+		}
+	}
+	return nil
+}
+
+// stopTCPLocked closes listeners; caller holds cl.mu.
+func (cl *Cluster) stopTCPLocked() {
+	if cl.tcp != nil {
+		cl.tcp.stop()
+		cl.tcp = nil
+	}
+}

@@ -1,0 +1,204 @@
+package hbase
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// transport is how a client reaches region servers: direct in-process calls
+// or the TCP wire protocol.
+type transport interface {
+	mutate(tr *tableRegion, batch []Mutation) error
+	get(tr *tableRegion, key []byte) ([]byte, bool, error)
+	scan(tr *tableRegion, lo, hi []byte, limit int) ([]Row, error)
+	close() error
+}
+
+// inprocTransport calls the server methods directly (still handler-gated).
+type inprocTransport struct{}
+
+func (inprocTransport) mutate(tr *tableRegion, batch []Mutation) error {
+	return tr.primary.mutate(tr.group, batch)
+}
+
+func (inprocTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
+	return tr.primary.get(tr.replicas[0], key)
+}
+
+func (inprocTransport) scan(tr *tableRegion, lo, hi []byte, limit int) ([]Row, error) {
+	return tr.primary.scan(tr.replicas[0], lo, hi, limit)
+}
+
+func (inprocTransport) close() error { return nil }
+
+// tcpTransport speaks the wire protocol, one lazily dialled connection per
+// region server. Like a Client, a tcpTransport serves a single worker
+// thread, so no locking is needed.
+type tcpTransport struct {
+	addrs map[*RegionServer]string
+	conns map[*RegionServer]*tcpConn
+}
+
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newTCPTransport(cl *Cluster) (*tcpTransport, error) {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	if cl.tcp == nil {
+		return nil, ErrNoTCP
+	}
+	t := &tcpTransport{
+		addrs: make(map[*RegionServer]string, len(cl.servers)),
+		conns: make(map[*RegionServer]*tcpConn),
+	}
+	for i, srv := range cl.servers {
+		t.addrs[srv] = cl.tcp.addrs[i]
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) conn(srv *RegionServer) (*tcpConn, error) {
+	if c, ok := t.conns[srv]; ok {
+		return c, nil
+	}
+	addr, ok := t.addrs[srv]
+	if !ok {
+		return nil, fmt.Errorf("hbase: no address for server %d", srv.ID())
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hbase: dial %s: %w", addr, err)
+	}
+	c := &tcpConn{
+		c: nc,
+		r: bufio.NewReaderSize(nc, 256<<10),
+		w: bufio.NewWriterSize(nc, 256<<10),
+	}
+	t.conns[srv] = c
+	return c, nil
+}
+
+// call sends the request frame and reads the response into resp. On
+// transport errors the connection is discarded so the next call redials.
+func (t *tcpTransport) call(srv *RegionServer, req *frameWriter, resp *frameReader) error {
+	c, err := t.conn(srv)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		c.c.Close()
+		delete(t.conns, srv)
+		return err
+	}
+	if err := req.flush(c.w); err != nil {
+		return fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := resp.readFrame(c.r); err != nil {
+		return fail(err)
+	}
+	if resp.op == statusErr {
+		msg, err := resp.str()
+		if err != nil {
+			return fail(err)
+		}
+		return errors.New(msg) // server-side error; connection stays usable
+	}
+	if resp.op != statusOK {
+		return fail(fmt.Errorf("%w: status %d", ErrBadFrame, resp.op))
+	}
+	return nil
+}
+
+func (t *tcpTransport) mutate(tr *tableRegion, batch []Mutation) error {
+	var req frameWriter
+	var resp frameReader
+	req.reset(opMutate)
+	req.str(tr.info.Name)
+	req.uvarint(uint64(len(batch)))
+	for _, m := range batch {
+		if m.Delete {
+			req.uvarint(1)
+		} else {
+			req.uvarint(0)
+		}
+		req.bytes(m.Key)
+		req.bytes(m.Value)
+	}
+	return t.call(tr.primary, &req, &resp)
+}
+
+func (t *tcpTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
+	var req frameWriter
+	var resp frameReader
+	req.reset(opGet)
+	req.str(tr.info.Name)
+	req.bytes(key)
+	if err := t.call(tr.primary, &req, &resp); err != nil {
+		return nil, false, err
+	}
+	found, err := resp.uvarint()
+	if err != nil {
+		return nil, false, err
+	}
+	if found == 0 {
+		return nil, false, nil
+	}
+	v, err := resp.bytes()
+	if err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+func (t *tcpTransport) scan(tr *tableRegion, lo, hi []byte, limit int) ([]Row, error) {
+	var req frameWriter
+	var resp frameReader
+	req.reset(opScan)
+	req.str(tr.info.Name)
+	req.optBytes(lo)
+	req.optBytes(hi)
+	req.uvarint(uint64(limit))
+	if err := t.call(tr.primary, &req, &resp); err != nil {
+		return nil, err
+	}
+	n, err := resp.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := resp.bytes()
+		if err != nil {
+			return nil, err
+		}
+		v, err := resp.bytes()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+	}
+	return rows, nil
+}
+
+func (t *tcpTransport) close() error {
+	var firstErr error
+	for srv, c := range t.conns {
+		if err := c.c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(t.conns, srv)
+	}
+	return firstErr
+}

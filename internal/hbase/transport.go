@@ -1,0 +1,154 @@
+package hbase
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The cluster's clients can reach region servers two ways: direct
+// in-process calls (the default) or a loopback TCP wire protocol that
+// models the benchmark's client-to-region-server network path. Both routes
+// execute the same handler-gated server methods.
+//
+// Wire format: every message is a frame
+//
+//	uint32  payload length (little endian)
+//	byte    opcode (request) or status (response)
+//	payload fields, each length-prefixed with a uvarint
+//
+// Requests carry the region name followed by op-specific fields; responses
+// carry a status byte (statusOK/statusErr) and either results or an error
+// string. The protocol is deliberately minimal: one outstanding request
+// per connection, matching the one-client-per-worker-thread model.
+
+// opcodes.
+const (
+	opMutate byte = 1
+	opGet    byte = 2
+	opScan   byte = 3
+)
+
+// response statuses.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxFrame bounds a single message (a scan of a full region easily fits).
+const maxFrame = 256 << 20
+
+// ErrBadFrame reports a malformed wire message.
+var ErrBadFrame = errors.New("hbase: malformed wire frame")
+
+// frameWriter accumulates one frame's payload.
+type frameWriter struct {
+	buf []byte
+}
+
+func (f *frameWriter) reset(op byte) {
+	f.buf = append(f.buf[:0], 0, 0, 0, 0, op)
+}
+
+func (f *frameWriter) bytes(b []byte) {
+	f.buf = binary.AppendUvarint(f.buf, uint64(len(b)))
+	f.buf = append(f.buf, b...)
+}
+
+func (f *frameWriter) str(s string) {
+	f.buf = binary.AppendUvarint(f.buf, uint64(len(s)))
+	f.buf = append(f.buf, s...)
+}
+
+func (f *frameWriter) uvarint(v uint64) {
+	f.buf = binary.AppendUvarint(f.buf, v)
+}
+
+// flush writes the frame to w.
+func (f *frameWriter) flush(w io.Writer) error {
+	binary.LittleEndian.PutUint32(f.buf[:4], uint32(len(f.buf)-4))
+	_, err := w.Write(f.buf)
+	return err
+}
+
+// frameReader parses one frame's payload.
+type frameReader struct {
+	op  byte
+	buf []byte
+	off int
+}
+
+// readFrame reads a whole frame from r.
+func (f *frameReader) readFrame(r io.Reader) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF signals clean connection close
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
+	}
+	if cap(f.buf) < int(n) {
+		f.buf = make([]byte, n)
+	}
+	f.buf = f.buf[:n]
+	if _, err := io.ReadFull(r, f.buf); err != nil {
+		return fmt.Errorf("%w: truncated frame: %v", ErrBadFrame, err)
+	}
+	f.op = f.buf[0]
+	f.off = 1
+	return nil
+}
+
+func (f *frameReader) bytes() ([]byte, error) {
+	n, sz := binary.Uvarint(f.buf[f.off:])
+	if sz <= 0 || uint64(len(f.buf)-f.off-sz) < n {
+		return nil, fmt.Errorf("%w: bad field length", ErrBadFrame)
+	}
+	f.off += sz
+	out := f.buf[f.off : f.off+int(n)]
+	f.off += int(n)
+	return out, nil
+}
+
+func (f *frameReader) str() (string, error) {
+	b, err := f.bytes()
+	return string(b), err
+}
+
+func (f *frameReader) uvarint() (uint64, error) {
+	v, sz := binary.Uvarint(f.buf[f.off:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrBadFrame)
+	}
+	f.off += sz
+	return v, nil
+}
+
+// nilMarker distinguishes nil scan bounds from empty ones on the wire.
+const (
+	markerNil   byte = 0
+	markerBytes byte = 1
+)
+
+func (f *frameWriter) optBytes(b []byte) {
+	if b == nil {
+		f.buf = append(f.buf, markerNil)
+		return
+	}
+	f.buf = append(f.buf, markerBytes)
+	f.bytes(b)
+}
+
+func (f *frameReader) optBytes() ([]byte, error) {
+	if f.off >= len(f.buf) {
+		return nil, fmt.Errorf("%w: missing optional marker", ErrBadFrame)
+	}
+	marker := f.buf[f.off]
+	f.off++
+	if marker == markerNil {
+		return nil, nil
+	}
+	return f.bytes()
+}

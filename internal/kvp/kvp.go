@@ -1,0 +1,250 @@
+// Package kvp implements the TPCx-IoT key-value-pair format.
+//
+// Figure 7 of the paper defines a sensor reading as a key-value pair:
+//
+//	key   = power-substation key (1-64 chars) |
+//	        sensor key           (1-64 chars) |
+//	        timestamp            (POSIX time)
+//	value = sensor value         (1-20 chars) |
+//	        sensor unit          (4-34 chars) |
+//	        padding              (fills the kvp to one KByte)
+//
+// The key encoding is order-preserving: for a fixed substation and sensor,
+// encoded keys sort by timestamp. Every TPCx-IoT query template is therefore
+// a single range scan per 5-second interval, exactly the "random key range"
+// read the paper adds to YCSB.
+package kvp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PairSize is the total size in bytes of one encoded sensor reading. The
+// specification fills every kvp to one KByte with random padding text.
+const PairSize = 1024
+
+// Field length limits from Figure 7.
+const (
+	MaxSubstationKeyLen = 64
+	MaxSensorKeyLen     = 64
+	MinSensorValueLen   = 1
+	MaxSensorValueLen   = 20
+	MinSensorUnitLen    = 4
+	MaxSensorUnitLen    = 34
+)
+
+// Sentinel errors returned by the validators and decoders.
+var (
+	ErrBadKey       = errors.New("kvp: malformed key")
+	ErrBadValue     = errors.New("kvp: malformed value")
+	ErrFieldLength  = errors.New("kvp: field length out of specification range")
+	ErrFieldContent = errors.New("kvp: field contains reserved separator byte")
+)
+
+// sep separates the textual key components. 0x00 never appears in substation
+// or sensor keys (they are printable identifiers), so the encoding remains
+// prefix-free and order-preserving.
+const sep = 0x00
+
+// Key identifies a single sensor reading: which substation, which sensor,
+// and when the reading was taken. Timestamp is POSIX time in milliseconds;
+// the paper's ingest rates (tens of readings per second per sensor) need
+// sub-second resolution to keep keys unique.
+type Key struct {
+	Substation string
+	Sensor     string
+	Timestamp  int64
+}
+
+// Validate checks the key fields against the Figure 7 limits.
+func (k Key) Validate() error {
+	if err := validateIdent("substation key", k.Substation, 1, MaxSubstationKeyLen); err != nil {
+		return err
+	}
+	if err := validateIdent("sensor key", k.Sensor, 1, MaxSensorKeyLen); err != nil {
+		return err
+	}
+	if k.Timestamp < 0 {
+		return fmt.Errorf("%w: negative timestamp %d", ErrBadKey, k.Timestamp)
+	}
+	return nil
+}
+
+func validateIdent(what, s string, minLen, maxLen int) error {
+	if len(s) < minLen || len(s) > maxLen {
+		return fmt.Errorf("%w: %s length %d outside [%d,%d]", ErrFieldLength, what, len(s), minLen, maxLen)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == sep {
+			return fmt.Errorf("%w: %s", ErrFieldContent, what)
+		}
+	}
+	return nil
+}
+
+// EncodedLen returns the length of the encoded form of k.
+func (k Key) EncodedLen() int {
+	return len(k.Substation) + 1 + len(k.Sensor) + 1 + 8
+}
+
+// Append encodes k in order-preserving form onto dst and returns the
+// extended slice. Layout: substation, 0x00, sensor, 0x00, big-endian uint64
+// timestamp (offset so that negative timestamps still sort correctly).
+func (k Key) Append(dst []byte) []byte {
+	dst = append(dst, k.Substation...)
+	dst = append(dst, sep)
+	dst = append(dst, k.Sensor...)
+	dst = append(dst, sep)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(k.Timestamp)^(1<<63))
+	return append(dst, ts[:]...)
+}
+
+// Encode returns the order-preserving encoded form of k.
+func (k Key) Encode() []byte {
+	return k.Append(make([]byte, 0, k.EncodedLen()))
+}
+
+// DecodeKey parses an encoded key. It is the inverse of Encode.
+func DecodeKey(b []byte) (Key, error) {
+	i := bytes.IndexByte(b, sep)
+	if i < 0 {
+		return Key{}, fmt.Errorf("%w: missing substation separator", ErrBadKey)
+	}
+	rest := b[i+1:]
+	j := bytes.IndexByte(rest, sep)
+	if j < 0 {
+		return Key{}, fmt.Errorf("%w: missing sensor separator", ErrBadKey)
+	}
+	if len(rest[j+1:]) != 8 {
+		return Key{}, fmt.Errorf("%w: timestamp field is %d bytes, want 8", ErrBadKey, len(rest[j+1:]))
+	}
+	ts := binary.BigEndian.Uint64(rest[j+1:]) ^ (1 << 63)
+	return Key{
+		Substation: string(b[:i]),
+		Sensor:     string(rest[:j]),
+		Timestamp:  int64(ts),
+	}, nil
+}
+
+// SensorPrefix returns the encoded prefix shared by all readings of one
+// sensor. Appending an encoded timestamp to it yields a full key; it is the
+// lower bound of a time-range scan starting at timestamp 0.
+func SensorPrefix(substation, sensor string) []byte {
+	b := make([]byte, 0, len(substation)+1+len(sensor)+1)
+	b = append(b, substation...)
+	b = append(b, sep)
+	b = append(b, sensor...)
+	b = append(b, sep)
+	return b
+}
+
+// RangeFor returns the encoded [lo, hi) key bounds covering readings of the
+// given sensor with lo <= Timestamp < hi. It is the scan the four query
+// templates issue for each 5-second interval.
+func RangeFor(substation, sensor string, loTS, hiTS int64) (lo, hi []byte) {
+	lo = Key{Substation: substation, Sensor: sensor, Timestamp: loTS}.Encode()
+	hi = Key{Substation: substation, Sensor: sensor, Timestamp: hiTS}.Encode()
+	return lo, hi
+}
+
+// Compare orders two encoded keys. Because the encoding is order-preserving
+// this is plain bytewise comparison; the function exists to document the
+// invariant and anchor the property tests.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Value is the payload of a sensor reading: the reading itself rendered as
+// a short decimal string, the measurement unit, and padding that fills the
+// encoded pair to exactly PairSize bytes.
+type Value struct {
+	Reading string
+	Unit    string
+	Padding []byte
+}
+
+// Validate checks the value fields against the Figure 7 limits.
+func (v Value) Validate() error {
+	if len(v.Reading) < MinSensorValueLen || len(v.Reading) > MaxSensorValueLen {
+		return fmt.Errorf("%w: sensor value length %d outside [%d,%d]",
+			ErrFieldLength, len(v.Reading), MinSensorValueLen, MaxSensorValueLen)
+	}
+	if len(v.Unit) < MinSensorUnitLen || len(v.Unit) > MaxSensorUnitLen {
+		return fmt.Errorf("%w: sensor unit length %d outside [%d,%d]",
+			ErrFieldLength, len(v.Unit), MinSensorUnitLen, MaxSensorUnitLen)
+	}
+	return nil
+}
+
+// valueHeaderLen is the fixed overhead of an encoded value: one length byte
+// for the reading and one for the unit.
+const valueHeaderLen = 2
+
+// PaddingFor returns the padding length that makes a pair with the given
+// key exactly PairSize bytes, or an error if the fixed fields already
+// exceed the budget.
+func PaddingFor(k Key, reading, unit string) (int, error) {
+	used := k.EncodedLen() + valueHeaderLen + len(reading) + len(unit)
+	if used > PairSize {
+		return 0, fmt.Errorf("%w: fixed fields use %d bytes, budget %d", ErrBadValue, used, PairSize)
+	}
+	return PairSize - used, nil
+}
+
+// EncodedLen returns the length of the encoded form of v.
+func (v Value) EncodedLen() int {
+	return valueHeaderLen + len(v.Reading) + len(v.Unit) + len(v.Padding)
+}
+
+// Append encodes v onto dst and returns the extended slice. Layout: reading
+// length byte, unit length byte, reading, unit, padding (to end of buffer).
+func (v Value) Append(dst []byte) []byte {
+	dst = append(dst, byte(len(v.Reading)), byte(len(v.Unit)))
+	dst = append(dst, v.Reading...)
+	dst = append(dst, v.Unit...)
+	return append(dst, v.Padding...)
+}
+
+// Encode returns the encoded form of v.
+func (v Value) Encode() []byte {
+	return v.Append(make([]byte, 0, v.EncodedLen()))
+}
+
+// DecodeValue parses an encoded value. The padding is aliased, not copied.
+func DecodeValue(b []byte) (Value, error) {
+	if len(b) < valueHeaderLen {
+		return Value{}, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadValue, len(b), valueHeaderLen)
+	}
+	rl, ul := int(b[0]), int(b[1])
+	if valueHeaderLen+rl+ul > len(b) {
+		return Value{}, fmt.Errorf("%w: declared field lengths %d+%d exceed %d bytes", ErrBadValue, rl, ul, len(b))
+	}
+	body := b[valueHeaderLen:]
+	return Value{
+		Reading: string(body[:rl]),
+		Unit:    string(body[rl : rl+ul]),
+		Padding: body[rl+ul:],
+	}, nil
+}
+
+// Pair is one complete sensor reading.
+type Pair struct {
+	Key   Key
+	Value Value
+}
+
+// Validate checks both halves and the total encoded size.
+func (p Pair) Validate() error {
+	if err := p.Key.Validate(); err != nil {
+		return err
+	}
+	if err := p.Value.Validate(); err != nil {
+		return err
+	}
+	if total := p.Key.EncodedLen() + p.Value.EncodedLen(); total != PairSize {
+		return fmt.Errorf("%w: encoded pair is %d bytes, want %d", ErrBadValue, total, PairSize)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package kvp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	k := Key{Substation: "PS-0042", Sensor: "pmu-17", Timestamp: 1514764800123}
+	got, err := DecodeKey(k.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatalf("round trip: got %+v, want %+v", got, k)
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(sub, sen uint32, ts int64) bool {
+		k := Key{
+			Substation: identFrom("S", sub, MaxSubstationKeyLen),
+			Sensor:     identFrom("x", sen, MaxSensorKeyLen),
+			Timestamp:  ts,
+		}
+		got, err := DecodeKey(k.Encode())
+		return err == nil && got == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// identFrom builds a valid identifier deterministically from a seed value.
+func identFrom(prefix string, v uint32, maxLen int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	var b strings.Builder
+	b.WriteString(prefix)
+	n := int(v%uint32(maxLen-len(prefix))) + 1
+	for i := 0; i < n && b.Len() < maxLen; i++ {
+		b.WriteByte(chars[(v+uint32(i)*2654435761)%uint32(len(chars))])
+	}
+	return b.String()
+}
+
+func TestKeyOrderPreservesTimestamp(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := Key{Substation: "PS", Sensor: "s1", Timestamp: a}.Encode()
+		kb := Key{Substation: "PS", Sensor: "s1", Timestamp: b}.Encode()
+		switch {
+		case a < b:
+			return Compare(ka, kb) < 0
+		case a > b:
+			return Compare(ka, kb) > 0
+		default:
+			return Compare(ka, kb) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOrderGroupsBySensor(t *testing.T) {
+	// All readings of sensor "a" sort before any reading of sensor "b"
+	// within a substation, regardless of timestamp.
+	early := Key{Substation: "PS", Sensor: "a", Timestamp: 1 << 40}.Encode()
+	late := Key{Substation: "PS", Sensor: "b", Timestamp: 0}.Encode()
+	if Compare(early, late) >= 0 {
+		t.Fatal("sensor grouping violated: a@high sorts after b@0")
+	}
+}
+
+func TestKeyPrefixFreedom(t *testing.T) {
+	// Substation "PS1" must not interleave with "PS10": the separator makes
+	// the encoding prefix-free.
+	a := Key{Substation: "PS1", Sensor: "z", Timestamp: 0}.Encode()
+	b := Key{Substation: "PS10", Sensor: "a", Timestamp: 0}.Encode()
+	if Compare(a, b) >= 0 {
+		t.Fatal("PS1 keys must sort before PS10 keys")
+	}
+}
+
+func TestKeyValidate(t *testing.T) {
+	valid := Key{Substation: "PS", Sensor: "s", Timestamp: 5}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid key rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		k    Key
+		want error
+	}{
+		{"empty substation", Key{Sensor: "s"}, ErrFieldLength},
+		{"long substation", Key{Substation: strings.Repeat("x", 65), Sensor: "s"}, ErrFieldLength},
+		{"empty sensor", Key{Substation: "PS"}, ErrFieldLength},
+		{"long sensor", Key{Substation: "PS", Sensor: strings.Repeat("x", 65)}, ErrFieldLength},
+		{"nul in substation", Key{Substation: "P\x00S", Sensor: "s"}, ErrFieldContent},
+		{"nul in sensor", Key{Substation: "PS", Sensor: "s\x00"}, ErrFieldContent},
+		{"negative timestamp", Key{Substation: "PS", Sensor: "s", Timestamp: -1}, ErrBadKey},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.k.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("nosep"),
+		[]byte("sub\x00sensoronly"),
+		[]byte("sub\x00sen\x00short"),
+		append([]byte("sub\x00sen\x00"), make([]byte, 9)...),
+	}
+	for _, b := range cases {
+		if _, err := DecodeKey(b); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("DecodeKey(%q) error = %v, want ErrBadKey", b, err)
+		}
+	}
+}
+
+func TestRangeFor(t *testing.T) {
+	lo, hi := RangeFor("PS", "s1", 1000, 6000)
+	inside := Key{Substation: "PS", Sensor: "s1", Timestamp: 3000}.Encode()
+	before := Key{Substation: "PS", Sensor: "s1", Timestamp: 999}.Encode()
+	atHi := Key{Substation: "PS", Sensor: "s1", Timestamp: 6000}.Encode()
+	otherSensor := Key{Substation: "PS", Sensor: "s2", Timestamp: 3000}.Encode()
+
+	if !(Compare(lo, inside) <= 0 && Compare(inside, hi) < 0) {
+		t.Fatal("inside key not within [lo,hi)")
+	}
+	if Compare(before, lo) >= 0 {
+		t.Fatal("key before range not below lo")
+	}
+	if Compare(atHi, hi) < 0 {
+		t.Fatal("key at hi bound must be excluded")
+	}
+	if Compare(otherSensor, hi) < 0 && Compare(otherSensor, lo) >= 0 {
+		t.Fatal("other sensor's key leaked into range")
+	}
+}
+
+func TestSensorPrefixIsKeyPrefix(t *testing.T) {
+	p := SensorPrefix("PS", "s1")
+	k := Key{Substation: "PS", Sensor: "s1", Timestamp: 12345}.Encode()
+	if !bytes.HasPrefix(k, p) {
+		t.Fatal("SensorPrefix is not a prefix of the encoded key")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	v := Value{Reading: "230.17", Unit: "volt", Padding: bytes.Repeat([]byte{'p'}, 100)}
+	got, err := DecodeValue(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reading != v.Reading || got.Unit != v.Unit || !bytes.Equal(got.Padding, v.Padding) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func(r, u uint8, padLen uint16) bool {
+		v := Value{
+			Reading: strings.Repeat("9", int(r%MaxSensorValueLen)+1),
+			Unit:    strings.Repeat("u", int(u%(MaxSensorUnitLen-MinSensorUnitLen+1))+MinSensorUnitLen),
+			Padding: bytes.Repeat([]byte{'x'}, int(padLen%1000)),
+		}
+		got, err := DecodeValue(v.Encode())
+		return err == nil &&
+			got.Reading == v.Reading &&
+			got.Unit == v.Unit &&
+			bytes.Equal(got.Padding, v.Padding)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueValidate(t *testing.T) {
+	good := Value{Reading: "1", Unit: "volt"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid value rejected: %v", err)
+	}
+	bad := []Value{
+		{Reading: "", Unit: "volt"},
+		{Reading: strings.Repeat("1", 21), Unit: "volt"},
+		{Reading: "1", Unit: "v"},
+		{Reading: "1", Unit: strings.Repeat("u", 35)},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); !errors.Is(err, ErrFieldLength) {
+			t.Fatalf("case %d: got %v, want ErrFieldLength", i, err)
+		}
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{5},
+		{10, 10, 'a'},
+	}
+	for _, b := range cases {
+		if _, err := DecodeValue(b); !errors.Is(err, ErrBadValue) {
+			t.Fatalf("DecodeValue(%v) error = %v, want ErrBadValue", b, err)
+		}
+	}
+}
+
+func TestPairSizeInvariant(t *testing.T) {
+	k := Key{Substation: "PS-001", Sensor: "pmu-0", Timestamp: 1700000000000}
+	pad, err := PaddingFor(k, "230.17", "volt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pair{
+		Key:   k,
+		Value: Value{Reading: "230.17", Unit: "volt", Padding: make([]byte, pad)},
+	}
+	for i := range p.Value.Padding {
+		p.Value.Padding[i] = 'q'
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Key.EncodedLen() + p.Value.EncodedLen(); got != PairSize {
+		t.Fatalf("encoded pair is %d bytes, want %d", got, PairSize)
+	}
+}
+
+func TestPairSizeInvariantProperty(t *testing.T) {
+	f := func(sub, sen uint32, rd, un uint8) bool {
+		k := Key{
+			Substation: identFrom("PS", sub, MaxSubstationKeyLen),
+			Sensor:     identFrom("s", sen, MaxSensorKeyLen),
+			Timestamp:  1700000000000,
+		}
+		reading := strings.Repeat("7", int(rd%MaxSensorValueLen)+1)
+		unit := strings.Repeat("u", int(un%(MaxSensorUnitLen-MinSensorUnitLen+1))+MinSensorUnitLen)
+		pad, err := PaddingFor(k, reading, unit)
+		if err != nil {
+			return false
+		}
+		p := Pair{Key: k, Value: Value{Reading: reading, Unit: unit, Padding: make([]byte, pad)}}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaddingForOverflow(t *testing.T) {
+	k := Key{
+		Substation: strings.Repeat("s", 64),
+		Sensor:     strings.Repeat("x", 64),
+		Timestamp:  0,
+	}
+	// 64+1+64+1+8 = 138 key bytes; cannot overflow 1024 with legal fields,
+	// so force it with an oversized synthetic reading.
+	if _, err := PaddingFor(k, strings.Repeat("9", 900), "volt"); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("expected ErrBadValue, got %v", err)
+	}
+}
+
+func TestPairValidateRejectsWrongSize(t *testing.T) {
+	k := Key{Substation: "PS", Sensor: "s", Timestamp: 1}
+	p := Pair{Key: k, Value: Value{Reading: "1", Unit: "volt", Padding: make([]byte, 10)}}
+	if err := p.Validate(); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("expected size violation, got %v", err)
+	}
+}

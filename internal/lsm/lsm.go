@@ -1,0 +1,689 @@
+// Package lsm implements the log-structured storage engine beneath a region
+// server: an in-memory memtable in front of a write-ahead log and a set of
+// immutable SSTables, with background flush and compaction.
+//
+// The moving parts correspond one-to-one with the HBase store the paper
+// benchmarks:
+//
+//   - the memtable is the memstore; MemtableSize plays the role of the
+//     flush threshold,
+//   - the WAL segment cap models "maximum number of WAL files = 128",
+//   - MaxStoreFiles models hbase.hstore.blockingStoreFiles: when a store
+//     accumulates that many files, writes block until compaction catches up.
+//
+// Writes are durable (per the WAL sync policy) before they are visible.
+// Reads merge the active memtable, the flushing memtable, and the store
+// files newest-first. Deletes are tombstones that full compactions drop.
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tpcxiot/internal/memtable"
+	"tpcxiot/internal/sstable"
+	"tpcxiot/internal/wal"
+)
+
+// Sentinel errors.
+var (
+	ErrClosed   = errors.New("lsm: store is closed")
+	ErrBadKey   = errors.New("lsm: empty key")
+	ErrCorrupt  = errors.New("lsm: corrupt store")
+	ErrBadRange = errors.New("lsm: scan bounds inverted")
+)
+
+// Options configures a store.
+type Options struct {
+	// Dir holds the WAL and table files. Required.
+	Dir string
+	// MemtableSize is the flush threshold in bytes. Defaults to 4 MiB.
+	MemtableSize int64
+	// MaxStoreFiles blocks writes when this many table files accumulate
+	// (hbase.hstore.blockingStoreFiles). Defaults to 28, the paper's tuning.
+	MaxStoreFiles int
+	// CompactTrigger starts a full compaction when the file count reaches
+	// this value. Defaults to 6.
+	CompactTrigger int
+	// BlockSize is the SSTable data-block size. Defaults to 4 KiB.
+	BlockSize int
+	// BloomBitsPerKey sizes table Bloom filters. 0 selects the default.
+	BloomBitsPerKey int
+	// BlockCacheBytes bounds the store's shared block cache (the HBase
+	// block cache). 0 selects the sstable default.
+	BlockCacheBytes int64
+	// WALSync selects log durability. Defaults to wal.SyncOnAppend.
+	WALSync wal.SyncPolicy
+	// MaxWALSegments caps live WAL segments (max WAL files). 0 = unlimited.
+	MaxWALSegments int
+	// DisableAutoFlush turns off size-triggered flushes; Flush must be
+	// called explicitly. Used by tests to control timing.
+	DisableAutoFlush bool
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, errors.New("lsm: Dir is required")
+	}
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = 4 << 20
+	}
+	if o.MaxStoreFiles <= 0 {
+		o.MaxStoreFiles = 28
+	}
+	if o.CompactTrigger <= 0 {
+		o.CompactTrigger = 6
+	}
+	if o.CompactTrigger > o.MaxStoreFiles {
+		o.CompactTrigger = o.MaxStoreFiles
+	}
+	return o, nil
+}
+
+// value encoding inside memtables and tables: first byte tags live values
+// versus tombstones.
+const (
+	tagValue     = 1
+	tagTombstone = 0
+)
+
+// Store is a single LSM tree. Safe for concurrent use.
+type Store struct {
+	opts Options
+	log  *wal.Log
+
+	mu     sync.RWMutex
+	active *memtable.Memtable
+	imm    *memtable.Memtable // being flushed; nil when none
+	tables []*tableHandle     // newest first
+	nextID uint64
+	closed bool
+
+	flushCond *sync.Cond          // signalled when a flush or compaction completes
+	cache     *sstable.BlockCache // shared across all table files
+
+	maintMu   sync.Mutex // serialises flush/compaction work
+	seedCount uint64
+
+	puts, deletes, gets, scans   atomic.Int64
+	flushes, compactions, stalls atomic.Int64
+}
+
+// tableHandle pairs a reader with its file path.
+type tableHandle struct {
+	id     uint64
+	path   string
+	reader *sstable.Reader
+}
+
+// Stats reports cumulative engine activity.
+type Stats struct {
+	Puts        int64
+	Deletes     int64
+	Gets        int64
+	Scans       int64
+	Flushes     int64
+	Compactions int64
+	StallEvents int64 // writes that blocked on MaxStoreFiles
+}
+
+// Open opens (creating or recovering) the store in opts.Dir.
+func Open(opts Options) (*Store, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: create dir: %w", err)
+	}
+
+	s := &Store{opts: o, active: memtable.New(1)}
+	s.cache = sstable.NewBlockCache(o.BlockCacheBytes)
+	s.flushCond = sync.NewCond(&s.mu)
+	s.seedCount = 1
+
+	if err := s.loadTables(); err != nil {
+		return nil, err
+	}
+
+	// Recover unflushed writes from the log, then open it for appending.
+	if err := wal.Replay(filepath.Join(o.Dir, "wal"), func(rec []byte) error {
+		return s.applyRecord(rec)
+	}); err != nil {
+		return nil, fmt.Errorf("lsm: wal recovery: %w", err)
+	}
+	s.log, err = wal.Open(wal.Options{
+		Dir:         filepath.Join(o.Dir, "wal"),
+		Sync:        o.WALSync,
+		MaxSegments: o.MaxWALSegments,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) loadTables() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("lsm: read dir: %w", err)
+	}
+	type idPath struct {
+		id   uint64
+		path string
+	}
+	var files []idPath
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+		if err != nil {
+			continue
+		}
+		files = append(files, idPath{id, filepath.Join(s.opts.Dir, name)})
+	}
+	// Higher ids are newer; order newest first.
+	sort.Slice(files, func(i, j int) bool { return files[i].id > files[j].id })
+	for _, f := range files {
+		r, err := sstable.OpenWithCache(f.path, s.cache)
+		if err != nil {
+			return fmt.Errorf("%w: table %s: %v", ErrCorrupt, f.path, err)
+		}
+		s.tables = append(s.tables, &tableHandle{id: f.id, path: f.path, reader: r})
+		if f.id >= s.nextID {
+			s.nextID = f.id + 1
+		}
+	}
+	return nil
+}
+
+// record encoding: op byte, uvarint key length, key, value.
+func encodeRecord(op byte, key, value []byte) []byte {
+	rec := make([]byte, 0, 1+binary.MaxVarintLen32+len(key)+len(value))
+	rec = append(rec, op)
+	rec = binary.AppendUvarint(rec, uint64(len(key)))
+	rec = append(rec, key...)
+	rec = append(rec, value...)
+	return rec
+}
+
+func (s *Store) applyRecord(rec []byte) error {
+	if len(rec) < 2 {
+		return fmt.Errorf("%w: wal record of %d bytes", ErrCorrupt, len(rec))
+	}
+	op := rec[0]
+	klen, n := binary.Uvarint(rec[1:])
+	if n <= 0 || uint64(len(rec)-1-n) < klen {
+		return fmt.Errorf("%w: wal record key length", ErrCorrupt)
+	}
+	key := rec[1+n : 1+n+int(klen)]
+	value := rec[1+n+int(klen):]
+	switch op {
+	case tagValue:
+		s.active.Put(key, append([]byte{tagValue}, value...))
+	case tagTombstone:
+		s.active.Put(key, []byte{tagTombstone})
+	default:
+		return fmt.Errorf("%w: wal op %d", ErrCorrupt, op)
+	}
+	return nil
+}
+
+// Put stores value under key, durably per the WAL policy.
+func (s *Store) Put(key, value []byte) error {
+	return s.mutate(tagValue, key, value)
+}
+
+// Delete removes key by writing a tombstone.
+func (s *Store) Delete(key []byte) error {
+	return s.mutate(tagTombstone, key, nil)
+}
+
+func (s *Store) mutate(op byte, key, value []byte) error {
+	if len(key) == 0 {
+		return ErrBadKey
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	// Backpressure: block while the store-file count is at the cap, exactly
+	// like hbase.hstore.blockingStoreFiles.
+	for len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
+		s.stalls.Add(1)
+		s.startMaintenanceLocked()
+		s.flushCond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	log := s.log
+	s.mu.Unlock()
+
+	// WAL first. The log serialises appends internally.
+	if err := log.Append(encodeRecord(op, key, value)); err != nil {
+		if errors.Is(err, wal.ErrLogFull) {
+			// Force a flush so Truncate can reclaim segments, then retry once.
+			if ferr := s.Flush(); ferr != nil {
+				return fmt.Errorf("lsm: wal full and flush failed: %w", ferr)
+			}
+			if err = log.Append(encodeRecord(op, key, value)); err != nil {
+				return fmt.Errorf("lsm: wal append after flush: %w", err)
+			}
+		} else {
+			return fmt.Errorf("lsm: wal append: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	switch op {
+	case tagValue:
+		s.active.Put(key, append([]byte{tagValue}, value...))
+		s.puts.Add(1)
+	case tagTombstone:
+		s.active.Put(key, []byte{tagTombstone})
+		s.deletes.Add(1)
+	}
+	shouldFlush := !s.opts.DisableAutoFlush &&
+		s.active.Size() >= s.opts.MemtableSize && s.imm == nil
+	if shouldFlush {
+		s.rotateMemtableLocked()
+		s.startMaintenanceLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// rotateMemtableLocked moves the active memtable to the immutable slot.
+// Caller holds mu and has checked imm == nil.
+func (s *Store) rotateMemtableLocked() {
+	s.imm = s.active
+	s.seedCount++
+	s.active = memtable.New(s.seedCount)
+}
+
+// startMaintenanceLocked launches the background flush/compaction worker if
+// there is work. Caller holds mu.
+func (s *Store) startMaintenanceLocked() {
+	go s.maintain()
+}
+
+// maintain performs at most one flush and one compaction pass.
+func (s *Store) maintain() {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+
+	s.mu.Lock()
+	imm := s.imm
+	s.mu.Unlock()
+	if imm != nil {
+		if err := s.flushMemtable(imm); err != nil {
+			// Leave imm in place; a later Flush call will retry and report.
+			return
+		}
+	}
+
+	s.mu.Lock()
+	need := len(s.tables) >= s.opts.CompactTrigger
+	s.mu.Unlock()
+	if need {
+		s.compact()
+	}
+}
+
+// Flush synchronously persists all memtable contents to table files.
+func (s *Store) Flush() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.imm == nil {
+		if s.active.Len() == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		s.rotateMemtableLocked()
+	}
+	imm := s.imm
+	s.mu.Unlock()
+
+	return s.flushMemtable(imm)
+}
+
+// flushMemtable writes imm to a new table file and installs it.
+func (s *Store) flushMemtable(imm *memtable.Memtable) error {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
+	w, err := sstable.NewWriter(path, sstable.WriterOptions{
+		BlockSize:       s.opts.BlockSize,
+		BloomBitsPerKey: s.opts.BloomBitsPerKey,
+	})
+	if err != nil {
+		return err
+	}
+	it := imm.NewIterator()
+	it.SeekToFirst()
+	for ; it.Valid(); it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		if errors.Is(err, sstable.ErrEmptyTable) {
+			// Nothing to persist; just clear the immutable slot.
+			s.mu.Lock()
+			s.imm = nil
+			s.flushCond.Broadcast()
+			s.mu.Unlock()
+			return nil
+		}
+		return err
+	}
+	r, err := sstable.OpenWithCache(path, s.cache)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.tables = append([]*tableHandle{{id: id, path: path, reader: r}}, s.tables...)
+	s.imm = nil
+	s.flushes.Add(1)
+	s.flushCond.Broadcast()
+	s.mu.Unlock()
+
+	s.truncateWALIfQuiescent()
+	return nil
+}
+
+// truncateWALIfQuiescent drops all but the active WAL segment when there is
+// no unflushed data at all (active memtable empty and no immutable table).
+// This conservative rule is always safe: if any unflushed record existed it
+// would be lost by truncation, so we only truncate when none exists.
+func (s *Store) truncateWALIfQuiescent() {
+	s.mu.Lock()
+	quiescent := s.imm == nil && s.active.Len() == 0 && !s.closed
+	var log *wal.Log
+	var upTo uint64
+	if quiescent {
+		log = s.log
+		upTo = s.log.ActiveSegment()
+	}
+	s.mu.Unlock()
+	if log != nil {
+		_ = log.Truncate(upTo) // best effort; old segments are merely garbage
+	}
+}
+
+// compact merges every table file into one, dropping shadowed versions and
+// tombstones, then replaces the table set.
+func (s *Store) compact() error {
+	s.mu.Lock()
+	if s.closed || len(s.tables) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	old := append([]*tableHandle(nil), s.tables...)
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
+	w, err := sstable.NewWriter(path, sstable.WriterOptions{
+		BlockSize:       s.opts.BlockSize,
+		BloomBitsPerKey: s.opts.BloomBitsPerKey,
+	})
+	if err != nil {
+		return err
+	}
+
+	iters := make([]iterator, len(old))
+	for i, t := range old {
+		it := t.reader.NewIterator()
+		it.SeekToFirst()
+		iters[i] = it
+	}
+	merged := newMergeIterator(iters)
+	wrote := 0
+	for merged.Valid() {
+		// Drop tombstones entirely: this is a full compaction, nothing
+		// older can resurrect the key.
+		if v := merged.Value(); len(v) > 0 && v[0] == tagValue {
+			if err := w.Add(merged.Key(), v); err != nil {
+				w.Abort()
+				return err
+			}
+			wrote++
+		}
+		merged.Next()
+	}
+	if err := merged.Error(); err != nil {
+		w.Abort()
+		return err
+	}
+
+	var newTables []*tableHandle
+	if wrote == 0 {
+		w.Abort()
+	} else {
+		if err := w.Finish(); err != nil {
+			return err
+		}
+		r, err := sstable.OpenWithCache(path, s.cache)
+		if err != nil {
+			return err
+		}
+		newTables = []*tableHandle{{id: id, path: path, reader: r}}
+	}
+
+	s.mu.Lock()
+	// Tables flushed while we compacted sit in front of `old`; keep them.
+	fresh := s.tables[:len(s.tables)-len(old)]
+	s.tables = append(append([]*tableHandle(nil), fresh...), newTables...)
+	s.compactions.Add(1)
+	s.flushCond.Broadcast()
+	s.mu.Unlock()
+
+	for _, t := range old {
+		t.reader.Close()
+		os.Remove(t.path)
+	}
+	return nil
+}
+
+// Compact forces a full compaction.
+func (s *Store) Compact() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	return s.compact()
+}
+
+// Get returns the value for key, or ok=false.
+func (s *Store) Get(key []byte) (value []byte, ok bool, err error) {
+	if len(key) == 0 {
+		return nil, false, ErrBadKey
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, false, ErrClosed
+	}
+	active, imm := s.active, s.imm
+	tables := append([]*tableHandle(nil), s.tables...)
+	s.mu.RUnlock()
+	s.gets.Add(1)
+
+	if v, found := active.Get(key); found {
+		return decodeLive(v)
+	}
+	if imm != nil {
+		if v, found := imm.Get(key); found {
+			return decodeLive(v)
+		}
+	}
+	for _, t := range tables {
+		v, err := t.reader.Get(key)
+		if err == nil {
+			return decodeLive(v)
+		}
+		if !errors.Is(err, sstable.ErrNotFound) {
+			return nil, false, err
+		}
+	}
+	return nil, false, nil
+}
+
+func decodeLive(stored []byte) ([]byte, bool, error) {
+	if len(stored) == 0 {
+		return nil, false, fmt.Errorf("%w: empty stored value", ErrCorrupt)
+	}
+	if stored[0] == tagTombstone {
+		return nil, false, nil
+	}
+	return stored[1:], true, nil
+}
+
+// Entry is one key-value pair returned by Scan.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns all live entries with lo <= key < hi in ascending order,
+// calling fn for each. fn's slices are only valid during the call. A nil hi
+// scans to the end of the keyspace.
+func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
+	if hi != nil && bytes.Compare(lo, hi) > 0 {
+		return ErrBadRange
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	sources := make([]iterator, 0, 2+len(s.tables))
+	ait := s.active.NewIterator()
+	ait.Seek(lo)
+	sources = append(sources, memIter{ait})
+	if s.imm != nil {
+		iit := s.imm.NewIterator()
+		iit.Seek(lo)
+		sources = append(sources, memIter{iit})
+	}
+	for _, t := range s.tables {
+		it := t.reader.NewIterator()
+		it.Seek(lo)
+		sources = append(sources, it)
+	}
+	s.mu.RUnlock()
+	s.scans.Add(1)
+
+	merged := newMergeIterator(sources)
+	for merged.Valid() {
+		if hi != nil && bytes.Compare(merged.Key(), hi) >= 0 {
+			break
+		}
+		if v := merged.Value(); len(v) > 0 && v[0] == tagValue {
+			if err := fn(merged.Key(), v[1:]); err != nil {
+				return err
+			}
+		}
+		merged.Next()
+	}
+	return merged.Error()
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:        s.puts.Load(),
+		Deletes:     s.deletes.Load(),
+		Gets:        s.gets.Load(),
+		Scans:       s.scans.Load(),
+		Flushes:     s.flushes.Load(),
+		Compactions: s.compactions.Load(),
+		StallEvents: s.stalls.Load(),
+	}
+}
+
+// TableCount returns the number of live store files.
+func (s *Store) TableCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables)
+}
+
+// MemtableBytes returns the active memtable's approximate size.
+func (s *Store) MemtableBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.active.Size()
+}
+
+// Close flushes and shuts the store down.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	// Final flush while still open.
+	if err := s.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	s.flushCond.Broadcast()
+	tables := s.tables
+	s.tables = nil
+	log := s.log
+	s.mu.Unlock()
+
+	var firstErr error
+	if err := log.Close(); err != nil {
+		firstErr = err
+	}
+	for _, t := range tables {
+		if err := t.reader.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Destroy closes the store and removes all files. For benchmark cleanup
+// (the TPCx-IoT system cleanup between iterations purges all ingested data).
+func (s *Store) Destroy() error {
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return os.RemoveAll(s.opts.Dir)
+}

@@ -1,0 +1,99 @@
+package lsm
+
+import (
+	"bytes"
+
+	"tpcxiot/internal/memtable"
+)
+
+// iterator is the common shape of memtable and sstable iterators.
+type iterator interface {
+	Valid() bool
+	Key() []byte
+	Value() []byte
+	Next()
+}
+
+// errIterator is satisfied by sources that can fail mid-iteration.
+type errIterator interface {
+	Error() error
+}
+
+// memIter adapts a memtable iterator (which cannot fail) to the interface.
+type memIter struct {
+	*memtable.Iterator
+}
+
+// mergeIterator performs an n-way sorted merge over already-positioned
+// iterators. Sources are priority-ordered: when several sources hold the
+// same key, the one with the LOWEST index wins (callers pass newest data
+// first), and the shadowed versions are skipped. This yields exactly the
+// newest visible version of every key.
+type mergeIterator struct {
+	sources []iterator
+	cur     int // index of the winning source, -1 when exhausted
+	err     error
+}
+
+// newMergeIterator merges sources that have already been positioned (Seek
+// or SeekToFirst). Pass newer sources before older ones.
+func newMergeIterator(sources []iterator) *mergeIterator {
+	m := &mergeIterator{sources: sources, cur: -1}
+	m.findWinner()
+	return m
+}
+
+// findWinner selects the smallest current key, preferring earlier sources
+// on ties, and advances all tied losers past the duplicate.
+func (m *mergeIterator) findWinner() {
+	m.cur = -1
+	var best []byte
+	for i, it := range m.sources {
+		if !it.Valid() {
+			if e, ok := it.(errIterator); ok && e.Error() != nil {
+				m.err = e.Error()
+				m.cur = -1
+				return
+			}
+			continue
+		}
+		if m.cur == -1 || bytes.Compare(it.Key(), best) < 0 {
+			m.cur = i
+			best = it.Key()
+		}
+	}
+	if m.cur == -1 {
+		return
+	}
+	// Skip shadowed duplicates in older sources.
+	for i := range m.sources {
+		if i == m.cur {
+			continue
+		}
+		it := m.sources[i]
+		for it.Valid() && bytes.Equal(it.Key(), best) {
+			it.Next()
+		}
+	}
+}
+
+// Valid reports whether the merge is positioned at an entry.
+func (m *mergeIterator) Valid() bool { return m.err == nil && m.cur >= 0 }
+
+// Key returns the current key.
+func (m *mergeIterator) Key() []byte { return m.sources[m.cur].Key() }
+
+// Value returns the current (newest) value.
+func (m *mergeIterator) Value() []byte { return m.sources[m.cur].Value() }
+
+// Next advances past the current key.
+func (m *mergeIterator) Next() {
+	if !m.Valid() {
+		return
+	}
+	m.sources[m.cur].Next()
+	m.findWinner()
+}
+
+// Error returns the first source error encountered.
+func (m *mergeIterator) Error() error { return m.err }

@@ -1,0 +1,266 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New(1)
+	m.Put([]byte("b"), []byte("2"))
+	m.Put([]byte("a"), []byte("1"))
+	m.Put([]byte("c"), []byte("3"))
+
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		got, ok := m.Get([]byte(k))
+		if !ok || string(got) != want {
+			t.Fatalf("Get(%q) = %q,%v; want %q", k, got, ok, want)
+		}
+	}
+	if _, ok := m.Get([]byte("missing")); ok {
+		t.Fatal("Get of absent key reported present")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := New(2)
+	m.Put([]byte("k"), []byte("old"))
+	m.Put([]byte("k"), []byte("newer"))
+	got, ok := m.Get([]byte("k"))
+	if !ok || string(got) != "newer" {
+		t.Fatalf("Get after overwrite = %q,%v", got, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", m.Len())
+	}
+	if m.Size() != int64(len("k")+len("newer")) {
+		t.Fatalf("Size after overwrite = %d", m.Size())
+	}
+}
+
+func TestPutCopiesInputs(t *testing.T) {
+	m := New(3)
+	k := []byte("key")
+	v := []byte("val")
+	m.Put(k, v)
+	k[0], v[0] = 'X', 'X'
+	got, ok := m.Get([]byte("key"))
+	if !ok || string(got) != "val" {
+		t.Fatalf("stored data aliased caller's slices: %q,%v", got, ok)
+	}
+}
+
+func TestGetCopiesOutput(t *testing.T) {
+	m := New(4)
+	m.Put([]byte("k"), []byte("val"))
+	got, _ := m.Get([]byte("k"))
+	got[0] = 'X'
+	again, _ := m.Get([]byte("k"))
+	if string(again) != "val" {
+		t.Fatal("Get returned an aliased internal slice")
+	}
+}
+
+func TestIterationSorted(t *testing.T) {
+	m := New(5)
+	keys := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for _, k := range keys {
+		m.Put([]byte(k), []byte("v-"+k))
+	}
+	it := m.NewIterator()
+	it.SeekToFirst()
+	var got []string
+	for ; it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("iteration order %v, want %v", got, want)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	m := New(6)
+	for i := 0; i < 100; i += 2 {
+		m.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	it := m.NewIterator()
+
+	it.Seek([]byte("k051")) // between k050 and k052
+	if !it.Valid() || string(it.Key()) != "k052" {
+		t.Fatalf("Seek(k051) landed on %q", it.Key())
+	}
+
+	it.Seek([]byte("k050")) // exact hit
+	if !it.Valid() || string(it.Key()) != "k050" {
+		t.Fatalf("Seek(k050) landed on %q", it.Key())
+	}
+
+	it.Seek([]byte("k999")) // past the end
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+
+	it.Seek([]byte("")) // before the beginning
+	if !it.Valid() || string(it.Key()) != "k000" {
+		t.Fatalf("Seek(empty) landed on %q", it.Key())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	m := New(7)
+	if m.Len() != 0 || m.Size() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	it := m.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Fatal("iterator over empty table is valid")
+	}
+	it.Next() // must not panic
+}
+
+func TestSizeAccounting(t *testing.T) {
+	m := New(8)
+	m.Put([]byte("abc"), []byte("12345"))
+	if m.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", m.Size())
+	}
+	m.Put([]byte("x"), []byte("y"))
+	if m.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", m.Size())
+	}
+}
+
+func TestConcurrentWritersReaders(t *testing.T) {
+	m := New(9)
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+				m.Put(k, k)
+			}
+		}(w)
+	}
+	// Concurrent scanners must never observe unsorted order or crash.
+	stop := make(chan struct{})
+	var scanErr error
+	var scanWg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		scanWg.Add(1)
+		go func() {
+			defer scanWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := m.NewIterator()
+				it.SeekToFirst()
+				var prev []byte
+				for ; it.Valid(); it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						scanErr = fmt.Errorf("unsorted scan: %q then %q", prev, it.Key())
+						return
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scanWg.Wait()
+	if scanErr != nil {
+		t.Fatal(scanErr)
+	}
+
+	if m.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i += 97 {
+			k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+			if _, ok := m.Get(k); !ok {
+				t.Fatalf("lost key %q", k)
+			}
+		}
+	}
+}
+
+func TestPropertyMatchesSortedMap(t *testing.T) {
+	f := func(ops [][2][]byte) bool {
+		m := New(10)
+		model := map[string]string{}
+		for _, op := range ops {
+			k, v := op[0], op[1]
+			if len(k) == 0 {
+				continue
+			}
+			m.Put(k, v)
+			model[string(k)] = string(v)
+		}
+		// Every model entry must be retrievable.
+		for k, v := range model {
+			got, ok := m.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		// Iteration must yield the model's keys in sorted order.
+		want := make([]string, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		it := m.NewIterator()
+		it.SeekToFirst()
+		i := 0
+		for ; it.Valid(); it.Next() {
+			if i >= len(want) || string(it.Key()) != want[i] {
+				return false
+			}
+			i++
+		}
+		return i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New(11)
+	key := make([]byte, 32)
+	val := make([]byte, 1024)
+	b.SetBytes(int64(len(key) + len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(key, fmt.Sprintf("key-%020d", i))
+		m.Put(key, val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New(12)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		m.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get([]byte(fmt.Sprintf("key-%08d", i%n)))
+	}
+}

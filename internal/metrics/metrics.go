@@ -1,0 +1,117 @@
+// Package metrics implements the three primary TPCx-IoT metrics of Section
+// III-F: the performance metric IoTps (Equation 4), the price-performance
+// metric $/IoTps (Equation 5), and the system-availability date.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNoRuns is returned when a result holds no measured runs.
+var ErrNoRuns = errors.New("metrics: result has no measured runs")
+
+// Run is one measured workload execution: the kvps ingested between the
+// start and end timestamps (TS_start and TS_end in the paper's notation).
+type Run struct {
+	// KVPs is N_i, the total number of key-value pairs ingested.
+	KVPs int64
+	// Start and End bound the measured interval.
+	Start, End time.Time
+}
+
+// Elapsed is TS_end - TS_start.
+func (r Run) Elapsed() time.Duration { return r.End.Sub(r.Start) }
+
+// IoTps computes Equation 4 for this run: N / (TS_end - TS_start) in
+// seconds. Returns 0 for a degenerate interval.
+func (r Run) IoTps() float64 {
+	secs := r.Elapsed().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.KVPs) / secs
+}
+
+// Result combines the two measured runs of a benchmark execution with the
+// priced configuration's cost and availability.
+type Result struct {
+	// Runs holds the measured run of each benchmark iteration.
+	Runs []Run
+	// OwnershipCost is the total 3-year cost of the priced configuration
+	// in the pricing currency.
+	OwnershipCost float64
+	// Availability is the date all priced components are generally
+	// available.
+	Availability time.Time
+}
+
+// PerformanceRun selects the run that defines the reported metric. The
+// specification picks the measured run m with N_m < N_n; because TPCx-IoT
+// ingests a fixed kvp total, the two runs usually tie on N and the reported
+// metric is then the slower (lower-IoTps) run, which keeps the reported
+// number conservative and repeatable.
+func (res Result) PerformanceRun() (Run, error) {
+	if len(res.Runs) == 0 {
+		return Run{}, ErrNoRuns
+	}
+	best := res.Runs[0]
+	for _, r := range res.Runs[1:] {
+		switch {
+		case r.KVPs < best.KVPs:
+			best = r
+		case r.KVPs == best.KVPs && r.IoTps() < best.IoTps():
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// IoTps returns the reported performance metric.
+func (res Result) IoTps() (float64, error) {
+	r, err := res.PerformanceRun()
+	if err != nil {
+		return 0, err
+	}
+	return r.IoTps(), nil
+}
+
+// PricePerformance computes Equation 5: ownership cost divided by the
+// reported IoTps.
+func (res Result) PricePerformance() (float64, error) {
+	iotps, err := res.IoTps()
+	if err != nil {
+		return 0, err
+	}
+	if iotps <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive IoTps %v", iotps)
+	}
+	return res.OwnershipCost / iotps, nil
+}
+
+// PerSensorIoTps converts a system-wide rate into the per-sensor rate the
+// 20 kvps/s execution rule constrains, given the simulated substation count
+// (200 sensors each).
+func PerSensorIoTps(systemIoTps float64, substations int) float64 {
+	if substations <= 0 {
+		return 0
+	}
+	return systemIoTps / float64(substations*SensorsPerSubstation)
+}
+
+// SensorsPerSubstation mirrors the specification's fixed sensor count.
+const SensorsPerSubstation = 200
+
+// ScalingFactor returns S_i = IoTps_i / IoTps_1, the normalised scaling the
+// paper annotates on Figure 10.
+func ScalingFactor(iotpsI, iotps1 float64) float64 {
+	if iotps1 <= 0 {
+		return 0
+	}
+	return iotpsI / iotps1
+}
+
+// BytesPerSecond converts an IoTps rate to a data rate, using the 1 KiB
+// pair size (Equation 1 renders 4 000 kvps/s as 3.91 MB/s).
+func BytesPerSecond(iotps float64) float64 { return iotps * 1024 }

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func run(kvps int64, secs float64) Run {
+	start := time.UnixMilli(1_700_000_000_000)
+	return Run{KVPs: kvps, Start: start, End: start.Add(time.Duration(secs * float64(time.Second)))}
+}
+
+func TestIoTpsEquation4(t *testing.T) {
+	r := run(400_000_000, 2149)
+	want := 400_000_000.0 / 2149.0 // the paper's 32-substation row: ~186,109
+	if got := r.IoTps(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("IoTps = %v, want %v", got, want)
+	}
+	if math.Abs(r.IoTps()-186_109) > 100 {
+		t.Fatalf("expected ~186109 IoTps for the paper's Table I row, got %v", r.IoTps())
+	}
+}
+
+func TestIoTpsDegenerateInterval(t *testing.T) {
+	r := Run{KVPs: 100, Start: time.Unix(5, 0), End: time.Unix(5, 0)}
+	if r.IoTps() != 0 {
+		t.Fatal("zero-length run must yield 0 IoTps")
+	}
+	r.End = time.Unix(4, 0)
+	if r.IoTps() != 0 {
+		t.Fatal("negative-length run must yield 0 IoTps")
+	}
+}
+
+func TestPerformanceRunPicksLowerKVPs(t *testing.T) {
+	res := Result{Runs: []Run{run(1000, 10), run(900, 5)}}
+	pr, err := res.PerformanceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.KVPs != 900 {
+		t.Fatalf("picked run with %d kvps, want 900", pr.KVPs)
+	}
+}
+
+func TestPerformanceRunTieBreaksOnSlower(t *testing.T) {
+	// Equal N (the normal TPCx-IoT case): report the slower run.
+	res := Result{Runs: []Run{run(1000, 5), run(1000, 8)}}
+	pr, err := res.PerformanceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Elapsed() != 8*time.Second {
+		t.Fatalf("tie-break picked the faster run (%v)", pr.Elapsed())
+	}
+	iotps, err := res.IoTps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iotps != 125 {
+		t.Fatalf("reported IoTps = %v, want 125 (slower run)", iotps)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	var res Result
+	if _, err := res.PerformanceRun(); !errors.Is(err, ErrNoRuns) {
+		t.Fatalf("empty result: %v", err)
+	}
+	if _, err := res.IoTps(); !errors.Is(err, ErrNoRuns) {
+		t.Fatalf("empty result IoTps: %v", err)
+	}
+	if _, err := res.PricePerformance(); !errors.Is(err, ErrNoRuns) {
+		t.Fatalf("empty result price-perf: %v", err)
+	}
+}
+
+func TestPricePerformanceEquation5(t *testing.T) {
+	res := Result{
+		Runs:          []Run{run(100_000, 10), run(100_000, 10)},
+		OwnershipCost: 500_000,
+	}
+	// IoTps = 10,000; $/IoTps = 50.
+	pp, err := res.PricePerformance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pp-50) > 1e-9 {
+		t.Fatalf("price-performance = %v, want 50", pp)
+	}
+}
+
+func TestPricePerformanceRejectsZeroThroughput(t *testing.T) {
+	res := Result{Runs: []Run{{KVPs: 0, Start: time.Unix(0, 0), End: time.Unix(1, 0)}}}
+	if _, err := res.PricePerformance(); err == nil {
+		t.Fatal("zero-throughput price-performance accepted")
+	}
+}
+
+func TestPerSensorIoTps(t *testing.T) {
+	// Paper Table I: 186,109 system-wide over 32 substations = 29.1/sensor.
+	got := PerSensorIoTps(186_109, 32)
+	if math.Abs(got-29.08) > 0.05 {
+		t.Fatalf("per-sensor = %v, want ~29.1", got)
+	}
+	if PerSensorIoTps(1000, 0) != 0 {
+		t.Fatal("zero substations must yield 0")
+	}
+}
+
+func TestScalingFactor(t *testing.T) {
+	// Figure 10: S_32 = 186,109 / 9,806 = 19.0.
+	if s := ScalingFactor(186_109, 9_806); math.Abs(s-18.98) > 0.05 {
+		t.Fatalf("S_32 = %v, want ~19.0", s)
+	}
+	if ScalingFactor(5, 0) != 0 {
+		t.Fatal("zero base must yield 0")
+	}
+}
+
+func TestBytesPerSecondEquation1(t *testing.T) {
+	// Equation 1: 4,000 kvps/s == 3.91 MB/s (MiB-style, 1024^2).
+	mbps := BytesPerSecond(4000) / (1024 * 1024)
+	if math.Abs(mbps-3.906) > 0.01 {
+		t.Fatalf("4000 kvps/s = %.3f MB/s, want ~3.91", mbps)
+	}
+}

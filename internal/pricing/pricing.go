@@ -1,0 +1,243 @@
+// Package pricing implements the TPC pricing model TPCx-IoT inherits from
+// the common pricing specification (Section IV-B): the priced configuration
+// with its line items, three-year maintenance requirements, exclusions,
+// component substitution rules, and the derived price-performance inputs.
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Category classifies a line item for pricing rules.
+type Category int
+
+// Line-item categories.
+const (
+	Server Category = iota
+	Storage
+	Network
+	Software
+	Maintenance
+	// ExcludedEquipment covers components outside the priced system:
+	// end-user communication devices with their cables/connectors/switches
+	// and equipment used exclusively for FDR production.
+	ExcludedEquipment
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Server:
+		return "server"
+	case Storage:
+		return "storage"
+	case Network:
+		return "network"
+	case Software:
+		return "software"
+	case Maintenance:
+		return "maintenance"
+	case ExcludedEquipment:
+		return "excluded"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// MaintenanceYears is the support horizon the specification prices.
+const MaintenanceYears = 3
+
+// Sentinel errors.
+var (
+	ErrNoItems          = errors.New("pricing: configuration has no line items")
+	ErrNoMaintenance    = errors.New("pricing: three-year maintenance not priced")
+	ErrBadItem          = errors.New("pricing: invalid line item")
+	ErrUnavailable      = errors.New("pricing: component has no availability date")
+	ErrNotSubstitutable = errors.New("pricing: substitution not permitted")
+)
+
+// LineItem is one priced component.
+type LineItem struct {
+	// Description names the component, e.g. "Cisco UCS B200 M4 blade".
+	Description string
+	// PartNumber identifies the orderable SKU.
+	PartNumber string
+	// Category drives validation rules.
+	Category Category
+	// UnitPrice is the list price per unit.
+	UnitPrice float64
+	// Quantity is the number of units.
+	Quantity int
+	// DiscountPct is the disclosed discount in [0, 100).
+	DiscountPct float64
+	// Available is the date the component is generally available to any
+	// customer.
+	Available time.Time
+	// MaintenanceYears is the support duration covered by this item when
+	// Category == Maintenance.
+	MaintenanceYears int
+}
+
+// ExtendedPrice is the item's total after discount.
+func (li LineItem) ExtendedPrice() float64 {
+	return li.UnitPrice * float64(li.Quantity) * (1 - li.DiscountPct/100)
+}
+
+// Validate checks structural rules for one item.
+func (li LineItem) Validate() error {
+	switch {
+	case li.Description == "":
+		return fmt.Errorf("%w: missing description", ErrBadItem)
+	case li.PartNumber == "":
+		return fmt.Errorf("%w: %s missing part number", ErrBadItem, li.Description)
+	case li.UnitPrice < 0:
+		return fmt.Errorf("%w: %s has negative price", ErrBadItem, li.Description)
+	case li.Quantity <= 0:
+		return fmt.Errorf("%w: %s has non-positive quantity", ErrBadItem, li.Description)
+	case li.DiscountPct < 0 || li.DiscountPct >= 100:
+		return fmt.Errorf("%w: %s discount %.1f%% out of range", ErrBadItem, li.Description, li.DiscountPct)
+	case li.Available.IsZero() && li.Category != ExcludedEquipment:
+		return fmt.Errorf("%w: %s", ErrUnavailable, li.Description)
+	}
+	return nil
+}
+
+// Configuration is the priced configuration of a result.
+type Configuration struct {
+	// Currency is the pricing currency code (informational).
+	Currency string
+	// Items are the line items of the priced system.
+	Items []LineItem
+}
+
+// Validate enforces the pricing rules: non-empty, valid items, and priced
+// three-year maintenance covering the system.
+func (c Configuration) Validate() error {
+	if len(c.Items) == 0 {
+		return ErrNoItems
+	}
+	haveMaintenance := false
+	for _, li := range c.Items {
+		if err := li.Validate(); err != nil {
+			return err
+		}
+		if li.Category == Maintenance && li.MaintenanceYears >= MaintenanceYears {
+			haveMaintenance = true
+		}
+	}
+	if !haveMaintenance {
+		return ErrNoMaintenance
+	}
+	return nil
+}
+
+// TotalCost is the cost of ownership: every non-excluded item's extended
+// price. This is the numerator of Equation 5.
+func (c Configuration) TotalCost() float64 {
+	total := 0.0
+	for _, li := range c.Items {
+		if li.Category == ExcludedEquipment {
+			continue
+		}
+		total += li.ExtendedPrice()
+	}
+	return total
+}
+
+// Availability is the system availability date: the latest availability of
+// any priced component (the date all line items are generally available).
+func (c Configuration) Availability() time.Time {
+	var latest time.Time
+	for _, li := range c.Items {
+		if li.Category == ExcludedEquipment {
+			continue
+		}
+		if li.Available.After(latest) {
+			latest = li.Available
+		}
+	}
+	return latest
+}
+
+// String renders the configuration as a price sheet.
+func (c Configuration) String() string {
+	var b strings.Builder
+	items := append([]LineItem(nil), c.Items...)
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Category < items[j].Category })
+	fmt.Fprintf(&b, "%-40s %-14s %-11s %5s %12s %12s\n",
+		"DESCRIPTION", "PART NUMBER", "CATEGORY", "QTY", "UNIT", "EXTENDED")
+	for _, li := range items {
+		fmt.Fprintf(&b, "%-40.40s %-14s %-11s %5d %12.2f %12.2f\n",
+			li.Description, li.PartNumber, li.Category, li.Quantity,
+			li.UnitPrice, li.ExtendedPrice())
+	}
+	fmt.Fprintf(&b, "%-83s %12.2f %s\n", "TOTAL (3-year cost of ownership)", c.TotalCost(), c.Currency)
+	return b.String()
+}
+
+// Substitution describes replacing a priced component after publication,
+// which the rules allow only for comparable components.
+type Substitution struct {
+	Old, New LineItem
+	// PerfImpactPct is the measured impact on the reported performance
+	// metric, in percent (positive = regression).
+	PerfImpactPct float64
+}
+
+// MaxPerfImpactPct is the allowed metric degradation for a substitution or
+// component update.
+const MaxPerfImpactPct = 2.0
+
+// Validate applies the substitution rules: identical part numbers are
+// corrections (always allowed); otherwise the component must be in the same
+// category and must not degrade the metric by more than two percent.
+// Durable media and cables are always substitutable.
+func (s Substitution) Validate() error {
+	if s.Old.PartNumber == s.New.PartNumber {
+		return nil // correction, not a substitution
+	}
+	if s.Old.Category == Storage && s.New.Category == Storage {
+		return nil // durable media are freely substitutable
+	}
+	if s.Old.Category != s.New.Category {
+		return fmt.Errorf("%w: category %s -> %s", ErrNotSubstitutable, s.Old.Category, s.New.Category)
+	}
+	if math.Abs(s.PerfImpactPct) > MaxPerfImpactPct {
+		return fmt.Errorf("%w: %.1f%% performance impact exceeds %.0f%%",
+			ErrNotSubstitutable, s.PerfImpactPct, MaxPerfImpactPct)
+	}
+	return nil
+}
+
+// ReferenceConfiguration prices an 8-node SUT modelled on the paper's
+// testbed (Cisco UCS B200 M4 blades, fabric interconnects, enterprise SSDs,
+// open-source software with a support subscription). Prices are plausible
+// list prices, not quotes; examples and tests use it as a worked example.
+func ReferenceConfiguration(nodes int) Configuration {
+	avail := time.Date(2017, time.May, 1, 0, 0, 0, 0, time.UTC)
+	return Configuration{
+		Currency: "USD",
+		Items: []LineItem{
+			{Description: "UCS B200 M4 blade (2x E5-2680 v4, 256 GB)", PartNumber: "UCSB-B200-M4",
+				Category: Server, UnitPrice: 24_000, Quantity: nodes, Available: avail},
+			{Description: "UCS 6324 fabric interconnect", PartNumber: "UCS-FI-6324",
+				Category: Network, UnitPrice: 11_000, Quantity: 2, Available: avail},
+			{Description: "3.8 TB 2.5in Enterprise Value 6G SATA SSD", PartNumber: "UCS-SD38TBKS4-EV",
+				Category: Storage, UnitPrice: 3_200, Quantity: 2 * nodes, Available: avail},
+			{Description: "Blade chassis with power and cooling", PartNumber: "UCSB-5108-AC2",
+				Category: Server, UnitPrice: 9_000, Quantity: (nodes + 7) / 8, Available: avail},
+			{Description: "Linux OS + HBase distribution subscription (3yr)", PartNumber: "SW-BIGDATA-3YR",
+				Category: Software, UnitPrice: 4_500, Quantity: nodes, Available: avail},
+			{Description: "24x7 hardware support, 3 years", PartNumber: "CON-OSP-B200M4",
+				Category: Maintenance, UnitPrice: 3_600, Quantity: nodes, Available: avail,
+				MaintenanceYears: 3},
+			{Description: "Operator console (excluded end-user device)", PartNumber: "CONSOLE-01",
+				Category: ExcludedEquipment, UnitPrice: 1_200, Quantity: 1, Available: avail},
+		},
+	}
+}

@@ -1,0 +1,211 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+var avail = time.Date(2017, time.May, 1, 0, 0, 0, 0, time.UTC)
+
+func item(desc string, cat Category, price float64, qty int) LineItem {
+	return LineItem{
+		Description: desc, PartNumber: "PN-" + desc, Category: cat,
+		UnitPrice: price, Quantity: qty, Available: avail,
+	}
+}
+
+func TestExtendedPrice(t *testing.T) {
+	li := item("srv", Server, 1000, 4)
+	if li.ExtendedPrice() != 4000 {
+		t.Fatalf("extended = %v", li.ExtendedPrice())
+	}
+	li.DiscountPct = 25
+	if li.ExtendedPrice() != 3000 {
+		t.Fatalf("discounted = %v", li.ExtendedPrice())
+	}
+}
+
+func TestLineItemValidate(t *testing.T) {
+	good := item("srv", Server, 1000, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mutate func(*LineItem)
+	}{
+		{func(li *LineItem) { li.Description = "" }},
+		{func(li *LineItem) { li.PartNumber = "" }},
+		{func(li *LineItem) { li.UnitPrice = -1 }},
+		{func(li *LineItem) { li.Quantity = 0 }},
+		{func(li *LineItem) { li.DiscountPct = 100 }},
+		{func(li *LineItem) { li.DiscountPct = -5 }},
+		{func(li *LineItem) { li.Available = time.Time{} }},
+	}
+	for i, tc := range cases {
+		li := good
+		tc.mutate(&li)
+		if err := li.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	// Excluded equipment may omit availability.
+	excl := item("console", ExcludedEquipment, 100, 1)
+	excl.Available = time.Time{}
+	if err := excl.Validate(); err != nil {
+		t.Fatalf("excluded equipment needs no availability: %v", err)
+	}
+}
+
+func maintenance() LineItem {
+	li := item("support", Maintenance, 500, 1)
+	li.MaintenanceYears = 3
+	return li
+}
+
+func TestConfigurationValidate(t *testing.T) {
+	if err := (Configuration{}).Validate(); !errors.Is(err, ErrNoItems) {
+		t.Fatalf("empty config: %v", err)
+	}
+	noMaint := Configuration{Items: []LineItem{item("srv", Server, 1000, 1)}}
+	if err := noMaint.Validate(); !errors.Is(err, ErrNoMaintenance) {
+		t.Fatalf("missing maintenance: %v", err)
+	}
+	shortMaint := maintenance()
+	shortMaint.MaintenanceYears = 1
+	cfg := Configuration{Items: []LineItem{item("srv", Server, 1000, 1), shortMaint}}
+	if err := cfg.Validate(); !errors.Is(err, ErrNoMaintenance) {
+		t.Fatalf("1-year maintenance accepted: %v", err)
+	}
+	cfg = Configuration{Items: []LineItem{item("srv", Server, 1000, 1), maintenance()}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalCostExcludesEquipment(t *testing.T) {
+	cfg := Configuration{Items: []LineItem{
+		item("srv", Server, 1000, 2),
+		item("console", ExcludedEquipment, 9999, 1),
+		maintenance(),
+	}}
+	if got := cfg.TotalCost(); got != 2500 {
+		t.Fatalf("TotalCost = %v, want 2500 (console excluded)", got)
+	}
+}
+
+func TestAvailabilityIsLatest(t *testing.T) {
+	late := item("gpu", Server, 1, 1)
+	late.Available = avail.AddDate(0, 3, 0)
+	excluded := item("console", ExcludedEquipment, 1, 1)
+	excluded.Available = avail.AddDate(1, 0, 0) // must not count
+	cfg := Configuration{Items: []LineItem{item("srv", Server, 1, 1), late, excluded, maintenance()}}
+	if got := cfg.Availability(); !got.Equal(avail.AddDate(0, 3, 0)) {
+		t.Fatalf("Availability = %v", got)
+	}
+}
+
+func TestSubstitutionRules(t *testing.T) {
+	oldCPU := item("cpu-a", Server, 100, 1)
+	newCPU := item("cpu-b", Server, 90, 1)
+
+	// Identical part numbers: a correction, always allowed.
+	same := Substitution{Old: oldCPU, New: oldCPU, PerfImpactPct: 50}
+	if err := same.Validate(); err != nil {
+		t.Fatalf("correction rejected: %v", err)
+	}
+	// Same category, small impact: allowed.
+	ok := Substitution{Old: oldCPU, New: newCPU, PerfImpactPct: 1.5}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("comparable substitution rejected: %v", err)
+	}
+	// Too much impact: rejected.
+	bad := Substitution{Old: oldCPU, New: newCPU, PerfImpactPct: 2.5}
+	if err := bad.Validate(); !errors.Is(err, ErrNotSubstitutable) {
+		t.Fatalf("2.5%% impact accepted: %v", err)
+	}
+	// Cross-category: rejected.
+	cross := Substitution{Old: oldCPU, New: item("switch", Network, 50, 1)}
+	if err := cross.Validate(); !errors.Is(err, ErrNotSubstitutable) {
+		t.Fatalf("cross-category accepted: %v", err)
+	}
+	// Durable media: freely substitutable regardless of impact.
+	disks := Substitution{
+		Old: item("ssd-a", Storage, 10, 1), New: item("ssd-b", Storage, 12, 1),
+		PerfImpactPct: 5,
+	}
+	if err := disks.Validate(); err != nil {
+		t.Fatalf("durable-media substitution rejected: %v", err)
+	}
+}
+
+func TestReferenceConfiguration(t *testing.T) {
+	for _, nodes := range []int{2, 4, 8} {
+		cfg := ReferenceConfiguration(nodes)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%d-node reference invalid: %v", nodes, err)
+		}
+		if cfg.TotalCost() <= 0 {
+			t.Fatalf("%d-node reference has zero cost", nodes)
+		}
+		if cfg.Availability().IsZero() {
+			t.Fatal("reference has no availability date")
+		}
+	}
+	// Cost must grow with node count.
+	if ReferenceConfiguration(8).TotalCost() <= ReferenceConfiguration(2).TotalCost() {
+		t.Fatal("8-node SUT not costlier than 2-node")
+	}
+	// SSD count scales 2 per node.
+	cfg := ReferenceConfiguration(8)
+	found := false
+	for _, li := range cfg.Items {
+		if li.Category == Storage && li.Quantity == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("8-node reference should price 16 SSDs")
+	}
+}
+
+func TestPriceSheetRendering(t *testing.T) {
+	cfg := ReferenceConfiguration(4)
+	s := cfg.String()
+	for _, want := range []string{"DESCRIPTION", "TOTAL", "USD", "UCSB-B200-M4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("price sheet missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		Server: "server", Storage: "storage", Network: "network",
+		Software: "software", Maintenance: "maintenance", ExcludedEquipment: "excluded",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+	if Category(42).String() == "" {
+		t.Fatal("unknown category should render")
+	}
+}
+
+func TestCostOfOwnershipMatchesHandComputation(t *testing.T) {
+	cfg := ReferenceConfiguration(8)
+	var want float64
+	for _, li := range cfg.Items {
+		if li.Category == ExcludedEquipment {
+			continue
+		}
+		want += li.UnitPrice * float64(li.Quantity)
+	}
+	if math.Abs(cfg.TotalCost()-want) > 1e-9 {
+		t.Fatalf("TotalCost = %v, want %v", cfg.TotalCost(), want)
+	}
+}

@@ -1,0 +1,182 @@
+// Package region implements key-range regions, the unit of distribution and
+// load balancing in the gateway's storage tier.
+//
+// As in HBase, a table's keyspace is partitioned into contiguous key ranges.
+// Each region owns the half-open interval [StartKey, EndKey) — a nil
+// StartKey means "from the beginning", a nil EndKey "to the end" — and is
+// backed by its own LSM store. Regions can split when they grow beyond a
+// threshold; the TPCx-IoT deployment pre-splits the table on substation-key
+// boundaries instead, which is the documented best practice for the
+// benchmark's uniform ingest.
+package region
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"tpcxiot/internal/lsm"
+)
+
+// Sentinel errors.
+var (
+	ErrOutOfRange = errors.New("region: key outside region bounds")
+	ErrTooSmall   = errors.New("region: not enough data to split")
+)
+
+// Info is a region's identity and bounds.
+type Info struct {
+	// Table is the owning table's name.
+	Table string
+	// Name uniquely identifies the region, e.g. "iot,0003".
+	Name string
+	// StartKey is the inclusive lower bound; nil means the keyspace start.
+	StartKey []byte
+	// EndKey is the exclusive upper bound; nil means the keyspace end.
+	EndKey []byte
+}
+
+// Contains reports whether key falls inside the region's bounds.
+func (in Info) Contains(key []byte) bool {
+	if in.StartKey != nil && bytes.Compare(key, in.StartKey) < 0 {
+		return false
+	}
+	if in.EndKey != nil && bytes.Compare(key, in.EndKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+// String renders the region identity with its bounds.
+func (in Info) String() string {
+	return fmt.Sprintf("%s[%q,%q)", in.Name, in.StartKey, in.EndKey)
+}
+
+// Region is a live key range backed by an LSM store.
+type Region struct {
+	info  Info
+	store *lsm.Store
+}
+
+// Open creates or reopens the region's store under dir.
+func Open(info Info, dir string, storeOpts lsm.Options) (*Region, error) {
+	storeOpts.Dir = filepath.Join(dir, info.Name)
+	s, err := lsm.Open(storeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("region %s: %w", info.Name, err)
+	}
+	return &Region{info: info, store: s}, nil
+}
+
+// Info returns the region's identity.
+func (r *Region) Info() Info { return r.info }
+
+// Store exposes the backing store for replication appliers and tests.
+func (r *Region) Store() *lsm.Store { return r.store }
+
+// Put writes a key-value pair, rejecting keys outside the region.
+func (r *Region) Put(key, value []byte) error {
+	if !r.info.Contains(key) {
+		return fmt.Errorf("%w: %q not in %s", ErrOutOfRange, key, r.info)
+	}
+	return r.store.Put(key, value)
+}
+
+// Delete tombstones a key, rejecting keys outside the region.
+func (r *Region) Delete(key []byte) error {
+	if !r.info.Contains(key) {
+		return fmt.Errorf("%w: %q not in %s", ErrOutOfRange, key, r.info)
+	}
+	return r.store.Delete(key)
+}
+
+// Get reads a key, rejecting keys outside the region.
+func (r *Region) Get(key []byte) ([]byte, bool, error) {
+	if !r.info.Contains(key) {
+		return nil, false, fmt.Errorf("%w: %q not in %s", ErrOutOfRange, key, r.info)
+	}
+	return r.store.Get(key)
+}
+
+// Scan iterates live entries in [lo, hi) clipped to the region bounds.
+func (r *Region) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
+	if r.info.StartKey != nil && (lo == nil || bytes.Compare(lo, r.info.StartKey) < 0) {
+		lo = r.info.StartKey
+	}
+	if r.info.EndKey != nil && (hi == nil || bytes.Compare(hi, r.info.EndKey) > 0) {
+		hi = r.info.EndKey
+	}
+	return r.store.Scan(lo, hi, fn)
+}
+
+// SizeBytes approximates the region's unflushed data volume.
+func (r *Region) SizeBytes() int64 { return r.store.MemtableBytes() }
+
+// Flush persists buffered writes to table files.
+func (r *Region) Flush() error { return r.store.Flush() }
+
+// Close shuts the region down, flushing first.
+func (r *Region) Close() error { return r.store.Close() }
+
+// Destroy closes the region and removes its files.
+func (r *Region) Destroy() error { return r.store.Destroy() }
+
+// SplitPoint scans the region and returns the median key, the split point a
+// size-based split policy would choose. Returns ErrTooSmall with fewer than
+// two distinct keys.
+func (r *Region) SplitPoint() ([]byte, error) {
+	var keys [][]byte
+	if err := r.Scan(nil, nil, func(k, _ []byte) error {
+		keys = append(keys, append([]byte(nil), k...))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if len(keys) < 2 {
+		return nil, ErrTooSmall
+	}
+	return keys[len(keys)/2], nil
+}
+
+// Split divides the region at split into two children, rewriting the data
+// into fresh stores under dir (a compacting split). The parent remains open;
+// the caller is responsible for retiring it after installing the children.
+func (r *Region) Split(split []byte, dir string, storeOpts lsm.Options) (left, right *Region, err error) {
+	if !r.info.Contains(split) {
+		return nil, nil, fmt.Errorf("%w: split key %q", ErrOutOfRange, split)
+	}
+	leftInfo := Info{
+		Table:    r.info.Table,
+		Name:     r.info.Name + "-l",
+		StartKey: r.info.StartKey,
+		EndKey:   append([]byte(nil), split...),
+	}
+	rightInfo := Info{
+		Table:    r.info.Table,
+		Name:     r.info.Name + "-r",
+		StartKey: append([]byte(nil), split...),
+		EndKey:   r.info.EndKey,
+	}
+	left, err = Open(leftInfo, dir, storeOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err = Open(rightInfo, dir, storeOpts)
+	if err != nil {
+		left.Destroy()
+		return nil, nil, err
+	}
+	err = r.Scan(nil, nil, func(k, v []byte) error {
+		if bytes.Compare(k, split) < 0 {
+			return left.Put(k, v)
+		}
+		return right.Put(k, v)
+	})
+	if err != nil {
+		left.Destroy()
+		right.Destroy()
+		return nil, nil, err
+	}
+	return left, right, nil
+}

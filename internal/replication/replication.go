@@ -1,0 +1,102 @@
+// Package replication implements the synchronous 3-way replication pipeline
+// that the TPCx-IoT prerequisite check verifies.
+//
+// In the paper's SUT, durability comes from HDFS: every WAL block and HFile
+// is stored on three data nodes, and the benchmark driver's "data
+// replication check" aborts the run if the factor is below three. This
+// package models the same guarantee one level up: each region has a primary
+// applier and replicaFactor-1 replica appliers on distinct nodes, and a
+// write is acknowledged only after every member of the pipeline has applied
+// it.
+package replication
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultFactor is the replication factor TPCx-IoT requires.
+const DefaultFactor = 3
+
+// Sentinel errors.
+var (
+	ErrFactorTooLow  = errors.New("replication: factor below requirement")
+	ErrShortPipeline = errors.New("replication: fewer appliers than the factor requires")
+)
+
+// Applier receives replicated mutations. Both the primary store and the
+// replica stores satisfy it.
+type Applier interface {
+	Put(key, value []byte) error
+	Delete(key []byte) error
+}
+
+// Group is a synchronous replication pipeline: the primary first, then each
+// replica in order. A write returns only after all members applied it, so a
+// reader served by any member after the ack sees the write.
+type Group struct {
+	members []Applier
+}
+
+// NewGroup builds a pipeline whose first member is the primary. The number
+// of members is the replication factor.
+func NewGroup(primary Applier, replicas ...Applier) *Group {
+	members := make([]Applier, 0, 1+len(replicas))
+	members = append(members, primary)
+	members = append(members, replicas...)
+	return &Group{members: members}
+}
+
+// Factor returns the group's replication factor (pipeline length).
+func (g *Group) Factor() int { return len(g.members) }
+
+// Put applies the write to every member, failing on the first error.
+func (g *Group) Put(key, value []byte) error {
+	for i, m := range g.members {
+		if err := m.Put(key, value); err != nil {
+			return fmt.Errorf("replication: member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Delete applies the tombstone to every member, failing on the first error.
+func (g *Group) Delete(key []byte) error {
+	for i, m := range g.members {
+		if err := m.Delete(key); err != nil {
+			return fmt.Errorf("replication: member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Primary returns the first pipeline member.
+func (g *Group) Primary() Applier { return g.members[0] }
+
+// Replicas returns the non-primary members.
+func (g *Group) Replicas() []Applier { return g.members[1:] }
+
+// CheckFactor returns nil when the group meets the required factor. This is
+// the check the benchmark driver runs before the warmup (Figure 6's "data
+// replication check").
+func (g *Group) CheckFactor(required int) error {
+	if g.Factor() < required {
+		return fmt.Errorf("%w: have %d, require %d", ErrFactorTooLow, g.Factor(), required)
+	}
+	return nil
+}
+
+// Placement computes replica placement for region r of table with n nodes:
+// the primary on node r mod n, replicas on the following nodes, wrapping —
+// the chain placement HDFS-style pipelines use. It returns factor node
+// indices, all distinct when n >= factor, or ErrShortPipeline otherwise.
+func Placement(regionOrdinal, nodes, factor int) ([]int, error) {
+	if nodes < factor {
+		return nil, fmt.Errorf("%w: %d nodes for factor %d", ErrShortPipeline, nodes, factor)
+	}
+	out := make([]int, factor)
+	for i := range out {
+		out[i] = (regionOrdinal + i) % nodes
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// mapApplier is an in-memory Applier for tests.
+type mapApplier struct {
+	data map[string]string
+	fail error
+}
+
+func newMapApplier() *mapApplier { return &mapApplier{data: map[string]string{}} }
+
+func (m *mapApplier) Put(key, value []byte) error {
+	if m.fail != nil {
+		return m.fail
+	}
+	m.data[string(key)] = string(value)
+	return nil
+}
+
+func (m *mapApplier) Delete(key []byte) error {
+	if m.fail != nil {
+		return m.fail
+	}
+	delete(m.data, string(key))
+	return nil
+}
+
+func TestPutReachesAllMembers(t *testing.T) {
+	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
+	g := NewGroup(p, r1, r2)
+	if g.Factor() != 3 {
+		t.Fatalf("Factor = %d, want 3", g.Factor())
+	}
+	if err := g.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*mapApplier{p, r1, r2} {
+		if m.data["k"] != "v" {
+			t.Fatalf("member %d missing write", i)
+		}
+	}
+}
+
+func TestDeleteReachesAllMembers(t *testing.T) {
+	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
+	g := NewGroup(p, r1, r2)
+	g.Put([]byte("k"), []byte("v"))
+	if err := g.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*mapApplier{p, r1, r2} {
+		if _, ok := m.data["k"]; ok {
+			t.Fatalf("member %d still holds deleted key", i)
+		}
+	}
+}
+
+func TestMemberFailurePropagates(t *testing.T) {
+	p, r1 := newMapApplier(), newMapApplier()
+	sentinel := errors.New("disk gone")
+	r1.fail = sentinel
+	g := NewGroup(p, r1)
+	if err := g.Put([]byte("k"), []byte("v")); !errors.Is(err, sentinel) {
+		t.Fatalf("replica failure not surfaced: %v", err)
+	}
+	if err := g.Delete([]byte("k")); !errors.Is(err, sentinel) {
+		t.Fatalf("replica delete failure not surfaced: %v", err)
+	}
+}
+
+func TestCheckFactor(t *testing.T) {
+	g := NewGroup(newMapApplier(), newMapApplier(), newMapApplier())
+	if err := g.CheckFactor(DefaultFactor); err != nil {
+		t.Fatalf("3-way group failed the factor check: %v", err)
+	}
+	small := NewGroup(newMapApplier())
+	if err := small.CheckFactor(DefaultFactor); !errors.Is(err, ErrFactorTooLow) {
+		t.Fatalf("1-way group passed the factor check: %v", err)
+	}
+}
+
+func TestPrimaryAndReplicas(t *testing.T) {
+	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
+	g := NewGroup(p, r1, r2)
+	if g.Primary() != Applier(p) {
+		t.Fatal("Primary is not the first member")
+	}
+	if len(g.Replicas()) != 2 {
+		t.Fatalf("Replicas = %d members", len(g.Replicas()))
+	}
+}
+
+func TestPlacementDistinctNodes(t *testing.T) {
+	for nodes := 3; nodes <= 8; nodes++ {
+		for ordinal := 0; ordinal < 20; ordinal++ {
+			placement, err := Placement(ordinal, nodes, DefaultFactor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(placement) != DefaultFactor {
+				t.Fatalf("placement length %d", len(placement))
+			}
+			seen := map[int]bool{}
+			for _, n := range placement {
+				if n < 0 || n >= nodes {
+					t.Fatalf("node %d out of range for %d nodes", n, nodes)
+				}
+				if seen[n] {
+					t.Fatalf("duplicate node in placement %v", placement)
+				}
+				seen[n] = true
+			}
+			if placement[0] != ordinal%nodes {
+				t.Fatalf("primary not on expected node: %v", placement)
+			}
+		}
+	}
+}
+
+func TestPlacementBalancesPrimaries(t *testing.T) {
+	const nodes = 4
+	counts := make([]int, nodes)
+	for ordinal := 0; ordinal < 400; ordinal++ {
+		p, err := Placement(ordinal, nodes, DefaultFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p[0]]++
+	}
+	for n, c := range counts {
+		if c != 100 {
+			t.Fatalf("node %d hosts %d primaries, want 100: %v", n, c, counts)
+		}
+	}
+}
+
+func TestPlacementTooFewNodes(t *testing.T) {
+	if _, err := Placement(0, 2, DefaultFactor); !errors.Is(err, ErrShortPipeline) {
+		t.Fatalf("2 nodes for factor 3: %v", err)
+	}
+}
+
+func TestPipelineOrdering(t *testing.T) {
+	// The primary must be applied before any replica, so a failure in the
+	// primary leaves replicas untouched.
+	p, r1 := newMapApplier(), newMapApplier()
+	sentinel := errors.New("primary down")
+	p.fail = sentinel
+	g := NewGroup(p, r1)
+	if err := g.Put([]byte("k"), []byte("v")); !errors.Is(err, sentinel) {
+		t.Fatal("primary failure not surfaced")
+	}
+	if len(r1.data) != 0 {
+		t.Fatal("replica applied a write the primary rejected")
+	}
+}
+
+func TestGroupWithManyMembers(t *testing.T) {
+	members := make([]*mapApplier, 5)
+	appliers := make([]Applier, 4)
+	members[0] = newMapApplier()
+	for i := 1; i < 5; i++ {
+		members[i] = newMapApplier()
+		appliers[i-1] = members[i]
+	}
+	g := NewGroup(members[0], appliers...)
+	if g.Factor() != 5 {
+		t.Fatalf("Factor = %d", g.Factor())
+	}
+	for i := 0; i < 100; i++ {
+		if err := g.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range members {
+		if len(m.data) != 100 {
+			t.Fatalf("member %d has %d keys, want 100", i, len(m.data))
+		}
+	}
+}

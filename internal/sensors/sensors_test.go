@@ -1,0 +1,130 @@
+package sensors
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tpcxiot/internal/kvp"
+)
+
+func TestCatalogueSize(t *testing.T) {
+	if got := len(Catalogue()); got != PerSubstation {
+		t.Fatalf("catalogue has %d sensors, want %d", got, PerSubstation)
+	}
+}
+
+func TestCatalogueKeysUniqueAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Catalogue() {
+		if seen[s.Key] {
+			t.Fatalf("duplicate sensor key %q", s.Key)
+		}
+		seen[s.Key] = true
+		if len(s.Key) < 1 || len(s.Key) > kvp.MaxSensorKeyLen {
+			t.Fatalf("sensor key %q length %d outside kvp limits", s.Key, len(s.Key))
+		}
+	}
+}
+
+func TestCatalogueDeterministic(t *testing.T) {
+	a, b := Catalogue(), Catalogue()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("catalogue not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCatalogueCoversAllFamilies(t *testing.T) {
+	present := make([]bool, len(Families))
+	for _, s := range Catalogue() {
+		present[s.Family] = true
+	}
+	for i, p := range present {
+		if !p {
+			t.Fatalf("family %q missing from catalogue", Families[i].Name)
+		}
+	}
+}
+
+func TestFamilyUnitsWithinKvpLimits(t *testing.T) {
+	for _, f := range Families {
+		if len(f.Unit) < kvp.MinSensorUnitLen || len(f.Unit) > kvp.MaxSensorUnitLen {
+			t.Fatalf("family %q unit %q length %d outside [%d,%d]",
+				f.Name, f.Unit, len(f.Unit), kvp.MinSensorUnitLen, kvp.MaxSensorUnitLen)
+		}
+		if f.Max <= f.Min {
+			t.Fatalf("family %q has empty range [%v,%v]", f.Name, f.Min, f.Max)
+		}
+	}
+}
+
+func TestReaderStaysInRange(t *testing.T) {
+	for fi := range Families {
+		s := Sensor{Key: "t", Family: fi}
+		r := NewReader(s, 99)
+		f := Families[fi]
+		for i := 0; i < 5000; i++ {
+			v := r.Next()
+			if v < f.Min || v > f.Max {
+				t.Fatalf("family %q reading %v outside [%v,%v]", f.Name, v, f.Min, f.Max)
+			}
+		}
+	}
+}
+
+func TestReaderDeterministic(t *testing.T) {
+	s := Catalogue()[0]
+	a := NewReader(s, 7)
+	b := NewReader(s, 7)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("readers with equal seeds diverged at %d", i)
+		}
+	}
+}
+
+func TestReaderSeedsDiffer(t *testing.T) {
+	s := Catalogue()[0]
+	a := NewReader(s, 1)
+	b := NewReader(s, 2)
+	identical := true
+	for i := 0; i < 50; i++ {
+		if a.Next() != b.Next() {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("readers with different seeds produced identical streams")
+	}
+}
+
+func TestFormatReadingWithinValueLimits(t *testing.T) {
+	f := func(raw float64) bool {
+		// Clamp into the widest catalogue range to mirror Reader behaviour.
+		if raw < -1e6 || raw > 1e6 {
+			return true // out of modelled space; skip
+		}
+		s := FormatReading(raw)
+		return len(s) >= kvp.MinSensorValueLen && len(s) <= kvp.MaxSensorValueLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadingStringsFitPair(t *testing.T) {
+	// Every sensor's rendered reading must leave room for padding in a
+	// 1 KiB pair with a realistic key.
+	for _, s := range Catalogue() {
+		r := NewReader(s, 5)
+		k := kvp.Key{Substation: "substation-00001", Sensor: s.Key, Timestamp: 1700000000000}
+		for i := 0; i < 10; i++ {
+			reading := r.NextString()
+			if _, err := kvp.PaddingFor(k, reading, s.Unit()); err != nil {
+				t.Fatalf("sensor %s reading %q does not fit a pair: %v", s.Key, reading, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package sstable
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BlockCache is a byte-bounded LRU cache of parsed data blocks, the
+// analogue of the HBase block cache. One cache may be shared by many
+// readers (e.g. all tables of a store); entries are keyed by (reader,
+// offset) and evicted in least-recently-used order once the byte budget is
+// exceeded. Safe for concurrent use.
+type BlockCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recent; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	owner  *Reader
+	offset uint64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	block *block
+	size  int64
+}
+
+// DefaultBlockCacheBytes is the default cache budget.
+const DefaultBlockCacheBytes = 8 << 20
+
+// NewBlockCache returns a cache bounded to capacity bytes of block data.
+// Non-positive capacities select the default.
+func NewBlockCache(capacity int64) *BlockCache {
+	if capacity <= 0 {
+		capacity = DefaultBlockCacheBytes
+	}
+	return &BlockCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached block for (owner, offset), if present.
+func (c *BlockCache) get(owner *Reader, offset uint64) (*block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{owner, offset}]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).block, true
+}
+
+// put inserts a block, evicting LRU entries beyond the capacity.
+func (c *BlockCache) put(owner *Reader, offset uint64, b *block) {
+	size := int64(len(b.data) + 4*len(b.restarts))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{owner, offset}
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		_ = el
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, block: b, size: size})
+	c.entries[key] = el
+	c.used += size
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil || back == el {
+			break // never evict the entry just inserted
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.size
+	}
+}
+
+// evictOwner drops every entry belonging to a reader; called on Close so a
+// shared cache does not pin closed tables.
+func (c *BlockCache) evictOwner(owner *Reader) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.owner == owner {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.used -= e.size
+		}
+		el = next
+	}
+}
+
+// UsedBytes reports the cache occupancy.
+func (c *BlockCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len reports the number of cached blocks.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

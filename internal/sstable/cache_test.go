@@ -1,0 +1,132 @@
+package sstable
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitAvoidsReparse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	buildTable(t, path, WriterOptions{BlockSize: 256}, seqKVs(500))
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Two reads of the same key must hit the same cached block pointer.
+	if _, err := r.Get([]byte("key-000010")); err != nil {
+		t.Fatal(err)
+	}
+	before := r.cache.Len()
+	if _, err := r.Get([]byte("key-000010")); err != nil {
+		t.Fatal(err)
+	}
+	if r.cache.Len() != before {
+		t.Fatalf("repeat read grew the cache: %d -> %d", before, r.cache.Len())
+	}
+	if r.cache.UsedBytes() <= 0 {
+		t.Fatal("cache reports zero occupancy after reads")
+	}
+}
+
+func TestCacheEvictsAtCapacity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	buildTable(t, path, WriterOptions{BlockSize: 512}, seqKVs(3000))
+	cache := NewBlockCache(2048) // room for ~3 blocks
+	r, err := OpenWithCache(path, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	it := r.NewIterator()
+	it.SeekToFirst()
+	for ; it.Valid(); it.Next() {
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if used := cache.UsedBytes(); used > 2048+600 {
+		t.Fatalf("cache holds %d bytes, capacity 2048", used)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache empty after full scan")
+	}
+}
+
+func TestCacheSharedAcrossReaders(t *testing.T) {
+	dir := t.TempDir()
+	cache := NewBlockCache(1 << 20)
+	var readers []*Reader
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("t%d.sst", i))
+		buildTable(t, path, WriterOptions{BlockSize: 256}, seqKVs(200))
+		r, err := OpenWithCache(path, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers = append(readers, r)
+	}
+	for _, r := range readers {
+		if _, err := r.Get([]byte("key-000050")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("shared cache empty")
+	}
+	// Closing one reader evicts only its entries.
+	before := cache.Len()
+	readers[0].Close()
+	after := cache.Len()
+	if after >= before {
+		t.Fatalf("close did not evict owner entries: %d -> %d", before, after)
+	}
+	// Remaining readers still work.
+	if _, err := readers[1].Get([]byte("key-000050")); err != nil {
+		t.Fatal(err)
+	}
+	readers[1].Close()
+	readers[2].Close()
+	if cache.Len() != 0 {
+		t.Fatalf("cache retains %d entries after all owners closed", cache.Len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	buildTable(t, path, WriterOptions{BlockSize: 256}, seqKVs(2000))
+	r, err := OpenWithCache(path, NewBlockCache(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := []byte(fmt.Sprintf("key-%06d", (w*313+i*7)%2000))
+				if _, err := r.Get(key); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewBlockCache(0)
+	if c.capacity != DefaultBlockCacheBytes {
+		t.Fatalf("default capacity = %d", c.capacity)
+	}
+	c = NewBlockCache(-5)
+	if c.capacity != DefaultBlockCacheBytes {
+		t.Fatalf("negative capacity = %d", c.capacity)
+	}
+}

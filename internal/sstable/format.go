@@ -1,0 +1,120 @@
+// Package sstable implements the immutable on-disk table format of the
+// storage engine, in the spirit of HBase HFiles and LevelDB tables.
+//
+// A table is a sequence of blocks:
+//
+//	[data block]*
+//	[bloom filter block]
+//	[index block]
+//	[footer]
+//
+// Data blocks hold key-value entries in sorted order with shared-prefix key
+// compression and restart points for binary search. The index block maps
+// the last key of every data block to its file position. The Bloom filter
+// covers all keys in the table and lets point reads skip the table without
+// touching a data block. Every block is protected by a CRC32C checksum.
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Sentinel errors.
+var (
+	ErrCorrupt     = errors.New("sstable: corrupt table")
+	ErrClosed      = errors.New("sstable: reader is closed")
+	ErrOutOfOrder  = errors.New("sstable: keys added out of order")
+	ErrEmptyTable  = errors.New("sstable: table has no entries")
+	ErrNotFound    = errors.New("sstable: key not found")
+	errBadMagic    = errors.New("sstable: bad magic")
+	errShortFooter = errors.New("sstable: short footer")
+)
+
+const (
+	// magic marks a well-formed footer ("IoTSSTb1").
+	magic uint64 = 0x496f545353546231
+
+	// footerLen: index handle (16) + bloom handle (16) + entry count (8) +
+	// magic (8).
+	footerLen = 48
+
+	// restartInterval is the number of entries between restart points in a
+	// data block.
+	restartInterval = 16
+
+	// blockTrailerLen: 4-byte CRC32C appended to every block.
+	blockTrailerLen = 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// handle locates a block within the file.
+type handle struct {
+	offset uint64
+	length uint64 // excluding the checksum trailer
+}
+
+func (h handle) encode(dst []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], h.offset)
+	binary.LittleEndian.PutUint64(dst[8:16], h.length)
+}
+
+func decodeHandle(b []byte) handle {
+	return handle{
+		offset: binary.LittleEndian.Uint64(b[0:8]),
+		length: binary.LittleEndian.Uint64(b[8:16]),
+	}
+}
+
+// footer is the fixed-size tail of the file.
+type footer struct {
+	index   handle
+	bloom   handle
+	entries uint64
+}
+
+func (f footer) encode() []byte {
+	out := make([]byte, footerLen)
+	f.index.encode(out[0:16])
+	f.bloom.encode(out[16:32])
+	binary.LittleEndian.PutUint64(out[32:40], f.entries)
+	binary.LittleEndian.PutUint64(out[40:48], magic)
+	return out
+}
+
+func decodeFooter(b []byte) (footer, error) {
+	if len(b) != footerLen {
+		return footer{}, errShortFooter
+	}
+	if binary.LittleEndian.Uint64(b[40:48]) != magic {
+		return footer{}, errBadMagic
+	}
+	return footer{
+		index:   decodeHandle(b[0:16]),
+		bloom:   decodeHandle(b[16:32]),
+		entries: binary.LittleEndian.Uint64(b[32:40]),
+	}, nil
+}
+
+func checksum(block []byte) uint32 {
+	return crc32.Checksum(block, crcTable)
+}
+
+func sharedPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,186 @@
+package sstable
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+
+	"tpcxiot/internal/bloom"
+)
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// BlockSize is the uncompressed data-block target in bytes.
+	// Defaults to 4 KiB.
+	BlockSize int
+	// BloomBitsPerKey sizes the table's Bloom filter; 0 selects the
+	// package default, negative disables the filter.
+	BloomBitsPerKey int
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 10
+	}
+	return o
+}
+
+// Writer builds a table from keys added in strictly ascending order.
+type Writer struct {
+	w    *bufio.Writer
+	file *os.File
+	opts WriterOptions
+
+	offset  uint64
+	data    blockBuilder
+	index   blockBuilder
+	keys    [][]byte // retained for the bloom filter
+	lastKey []byte
+	entries uint64
+	first   []byte
+	done    bool
+}
+
+// NewWriter creates the table file at path (truncating any existing file).
+func NewWriter(path string, opts WriterOptions) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: create: %w", err)
+	}
+	return &Writer{
+		w:    bufio.NewWriterSize(f, 256<<10),
+		file: f,
+		opts: opts.withDefaults(),
+	}, nil
+}
+
+// Add appends a key-value entry. Keys must be strictly ascending.
+func (w *Writer) Add(key, value []byte) error {
+	if w.done {
+		return ErrClosed
+	}
+	if w.entries > 0 && bytes.Compare(key, w.lastKey) <= 0 {
+		return fmt.Errorf("%w: %q after %q", ErrOutOfOrder, key, w.lastKey)
+	}
+	if w.entries == 0 {
+		w.first = append([]byte(nil), key...)
+	}
+	w.data.add(key, value)
+	w.lastKey = append(w.lastKey[:0], key...)
+	if w.opts.BloomBitsPerKey >= 0 {
+		w.keys = append(w.keys, append([]byte(nil), key...))
+	}
+	w.entries++
+	if w.data.estimatedSize() >= w.opts.BlockSize {
+		return w.flushDataBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushDataBlock() error {
+	if w.data.empty() {
+		return nil
+	}
+	h, err := w.writeBlock(w.data.finish())
+	if err != nil {
+		return err
+	}
+	w.data.reset()
+	var hb [16]byte
+	h.encode(hb[:])
+	w.index.add(w.lastKey, hb[:])
+	return nil
+}
+
+// writeBlock emits a block plus checksum trailer and returns its handle.
+func (w *Writer) writeBlock(raw []byte) (handle, error) {
+	h := handle{offset: w.offset, length: uint64(len(raw))}
+	if _, err := w.w.Write(raw); err != nil {
+		return handle{}, fmt.Errorf("sstable: write block: %w", err)
+	}
+	var tr [blockTrailerLen]byte
+	putU32(tr[:], checksum(raw))
+	if _, err := w.w.Write(tr[:]); err != nil {
+		return handle{}, fmt.Errorf("sstable: write trailer: %w", err)
+	}
+	w.offset += uint64(len(raw)) + blockTrailerLen
+	return h, nil
+}
+
+func putU32(dst []byte, v uint32) {
+	dst[0] = byte(v)
+	dst[1] = byte(v >> 8)
+	dst[2] = byte(v >> 16)
+	dst[3] = byte(v >> 24)
+}
+
+// Finish flushes remaining entries, writes the filter, index and footer,
+// syncs and closes the file. The Writer is unusable afterwards.
+func (w *Writer) Finish() error {
+	if w.done {
+		return ErrClosed
+	}
+	w.done = true
+	if w.entries == 0 {
+		w.file.Close()
+		os.Remove(w.file.Name())
+		return ErrEmptyTable
+	}
+	if err := w.flushDataBlock(); err != nil {
+		w.file.Close()
+		return err
+	}
+
+	var ft footer
+	ft.entries = w.entries
+
+	if w.opts.BloomBitsPerKey >= 0 {
+		filter := bloom.New(w.keys, w.opts.BloomBitsPerKey)
+		h, err := w.writeBlock(filter)
+		if err != nil {
+			w.file.Close()
+			return err
+		}
+		ft.bloom = h
+	}
+
+	ih, err := w.writeBlock(w.index.finish())
+	if err != nil {
+		w.file.Close()
+		return err
+	}
+	ft.index = ih
+
+	if _, err := w.w.Write(ft.encode()); err != nil {
+		w.file.Close()
+		return fmt.Errorf("sstable: write footer: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		w.file.Close()
+		return fmt.Errorf("sstable: flush: %w", err)
+	}
+	if err := w.file.Sync(); err != nil {
+		w.file.Close()
+		return fmt.Errorf("sstable: sync: %w", err)
+	}
+	return w.file.Close()
+}
+
+// Abort discards the partially written table.
+func (w *Writer) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.file.Close()
+	os.Remove(w.file.Name())
+}
+
+// EntryCount returns the number of entries added so far.
+func (w *Writer) EntryCount() uint64 { return w.entries }
+
+// EstimatedSize returns the bytes written plus the pending block.
+func (w *Writer) EstimatedSize() uint64 {
+	return w.offset + uint64(w.data.estimatedSize())
+}

@@ -1,0 +1,145 @@
+package testbed
+
+import "testing"
+
+// The ablation tests verify DESIGN.md's central claim about the simulator:
+// each of the paper's qualitative shapes is produced by one specific
+// mechanism in the model, not baked into the outputs. Turning a mechanism
+// off must make its shape disappear while the rest of the model still runs.
+
+// ablate runs an execution with a modified parameter set.
+func ablate(t *testing.T, mutate func(*Params), nodes, subs int, kvps int64) Execution {
+	t.Helper()
+	p := DefaultParams()
+	p.StallMeanInterval = 0 // baseline without stall noise
+	mutate(&p)
+	e, err := Execute(Config{
+		Nodes: nodes, Substations: subs, TotalKVPs: kvps, Seed: 7, Params: &p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAblationGroupCommitDrivesSuperLinearity: without WAL-sync
+// amortisation (sync latency constant regardless of concurrency), the
+// super-linear scaling region of Figure 10 must vanish.
+func TestAblationGroupCommitDrivesSuperLinearity(t *testing.T) {
+	noop := func(*Params) {}
+	base1 := ablate(t, noop, 8, 1, 500_000)
+	base2 := ablate(t, noop, 8, 2, 1_000_000)
+	withS2 := base2.IoTps() / base1.IoTps()
+
+	noAmortize := func(p *Params) { p.SyncAmortize = 0 }
+	flat1 := ablate(t, noAmortize, 8, 1, 500_000)
+	flat2 := ablate(t, noAmortize, 8, 2, 1_000_000)
+	withoutS2 := flat2.IoTps() / flat1.IoTps()
+
+	if withS2 < 2.2 {
+		t.Fatalf("baseline S_2 = %.2f, expected super-linear", withS2)
+	}
+	if withoutS2 > 2.1 {
+		t.Fatalf("S_2 = %.2f with group commit ablated; super-linearity should disappear", withoutS2)
+	}
+}
+
+// TestAblationSerialFlushDrivesInversion: the HBase 1.x client's SERIAL
+// per-node flush (a per-sub-RPC cost plus a per-node wait, repeated n
+// times) is what makes a single substation faster on the SMALLER cluster.
+// A modern asynchronous client (parallel dispatch, negligible per-RPC
+// serialisation) must erase Table III's inversion.
+func TestAblationSerialFlushDrivesInversion(t *testing.T) {
+	noop := func(*Params) {}
+	if i2, i8 := ablate(t, noop, 2, 1, 300_000).IoTps(),
+		ablate(t, noop, 8, 1, 300_000).IoTps(); i2 <= i8 {
+		t.Fatalf("baseline inversion missing: 2-node %.0f vs 8-node %.0f", i2, i8)
+	}
+
+	asyncClient := func(p *Params) {
+		p.ParallelFlush = true
+		p.PerRPCCost = 0
+	}
+	i2 := ablate(t, asyncClient, 2, 1, 300_000).IoTps()
+	i8 := ablate(t, asyncClient, 8, 1, 300_000).IoTps()
+	// With overlapped sub-RPCs the larger cluster serves smaller
+	// sub-batches per node; the 2-node advantage must be gone (allow ~10%
+	// tolerance for queueing noise).
+	if i2 > i8*1.1 {
+		t.Fatalf("inversion persists with an async client: %.0f vs %.0f", i2, i8)
+	}
+}
+
+// TestAblationDriverNoiseDrivesSkew: without per-driver-instance client
+// heterogeneity, Table II's ingest-time spread must collapse.
+func TestAblationDriverNoiseDrivesSkew(t *testing.T) {
+	skew := func(e Execution) float64 {
+		min, max, _ := e.IngestSkew()
+		if min <= 0 {
+			return 0
+		}
+		return float64(max-min) / float64(min)
+	}
+	base := skew(ablate(t, func(*Params) {}, 8, 48, 2_000_000))
+	flat := skew(ablate(t, func(p *Params) {
+		p.DriverNoiseBase = 0
+		p.DriverNoiseOversub = 0
+	}, 8, 48, 2_000_000))
+
+	if base < 0.40 {
+		t.Fatalf("baseline 48-substation skew %.0f%%, expected tens of percent", base*100)
+	}
+	if flat > base/3 {
+		t.Fatalf("skew %.0f%% with driver noise ablated (baseline %.0f%%); should collapse",
+			flat*100, base*100)
+	}
+}
+
+// TestAblationHostContentionCapsMidRange: without shared driver-host
+// contention, mid-range throughput must exceed the calibrated model's
+// (the paper's early per-driver decline comes from the shared host).
+func TestAblationHostContentionCapsMidRange(t *testing.T) {
+	base := ablate(t, func(*Params) {}, 8, 16, 2_000_000).IoTps()
+	free := ablate(t, func(p *Params) { p.HostContentionMax = 0 }, 8, 16, 2_000_000).IoTps()
+	if free < base*1.3 {
+		t.Fatalf("removing host contention changed 16-substation throughput only %.0f -> %.0f",
+			base, free)
+	}
+}
+
+// TestAblationStallsDriveLatencyTail: without compaction stalls the
+// latency maxima shrink by orders of magnitude and CV drops below 1
+// (Figure 14's character disappears).
+func TestAblationStallsDriveLatencyTail(t *testing.T) {
+	withStalls, err := Execute(Config{
+		Nodes: 8, Substations: 16, TotalKVPs: 20_000_000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noStalls := ablate(t, func(*Params) {}, 8, 16, 20_000_000)
+
+	if withStalls.QueryLatency.CV() <= 1 {
+		t.Fatalf("baseline CV = %.2f, expected > 1", withStalls.QueryLatency.CV())
+	}
+	if noStalls.QueryLatency.CV() >= 1 {
+		t.Fatalf("CV = %.2f with stalls ablated, expected < 1", noStalls.QueryLatency.CV())
+	}
+	if noStalls.QueryLatency.Max() > withStalls.QueryLatency.Max()/4 {
+		t.Fatalf("max latency barely moved: %.0fms -> %.0fms",
+			float64(withStalls.QueryLatency.Max())/1e6,
+			float64(noStalls.QueryLatency.Max())/1e6)
+	}
+}
+
+// TestAblationReadContentionDrivesKnee: the handler-contention inflation is
+// driven by node utilisation, so at LOW load query latency must sit near
+// its base cost, while saturation raises it — removing the load (fewer
+// substations) must flatten the knee.
+func TestAblationReadContentionDrivesKnee(t *testing.T) {
+	low := ablate(t, func(*Params) {}, 8, 2, 2_000_000).QueryLatency.Mean()
+	high := ablate(t, func(*Params) {}, 8, 32, 4_000_000).QueryLatency.Mean()
+	if high < low*1.4 {
+		t.Fatalf("no knee: %.1fms at 2 substations vs %.1fms at 32", low/1e6, high/1e6)
+	}
+}

@@ -1,0 +1,141 @@
+package testbed
+
+// request is one unit of server work: a write sub-batch or a query scan.
+type request struct {
+	kvps int    // write payload in sensor readings (0 for reads)
+	rows int    // rows to scan (0 for writes)
+	read bool   // query scan rather than write
+	done func() // invoked when the request completes
+}
+
+// simNode models one region server as a FIFO queue over its write/scan
+// work. Two latency effects ride on top of the queue:
+//
+//   - group-commit latency: a write's response additionally waits for a WAL
+//     sync whose expected latency shrinks as concurrent writers share syncs
+//     (the syncLat the run computes from the substation count). The sync
+//     does not occupy the server, so it costs latency, not capacity —
+//     amortising it is what produces the paper's super-linear scaling
+//     region;
+//   - compaction/GC stalls: a recurring background process blocks the
+//     server entirely for the stall duration, so requests queued behind a
+//     stall observe second-long latencies (Figure 14's maxima and CV > 1).
+type simNode struct {
+	s *sim
+
+	writeRate float64 // kvps/s service rate (includes replication work)
+	readSync  float64 // fixed cost per scan
+	readRate  float64 // rows/s scan rate
+	syncLat   float64 // group-commit response latency for writes
+	readDepth int     // queue positions a read may jump to
+
+	queue      []*request
+	busy       bool
+	stallUntil float64
+
+	busyTime float64
+	servedKV int64
+}
+
+func newSimNode(s *sim, p Params, nodes int, syncLat float64) *simNode {
+	return &simNode{
+		s:         s,
+		writeRate: p.nodeRate(nodes),
+		readSync:  p.ReadSync,
+		readRate:  p.ReadRowsPerSec,
+		syncLat:   syncLat,
+		readDepth: p.ReadPriorityDepth,
+	}
+}
+
+// submit enqueues a request; the server starts serving if idle. Reads are
+// admitted at most readDepth positions deep: the handler pool lets them
+// run alongside the write backlog rather than behind all of it.
+func (n *simNode) submit(r *request) {
+	if r.read && len(n.queue) > n.readDepth {
+		pos := n.readDepth
+		n.queue = append(n.queue, nil)
+		copy(n.queue[pos+1:], n.queue[pos:])
+		n.queue[pos] = r
+	} else {
+		n.queue = append(n.queue, r)
+	}
+	if !n.busy {
+		n.serveNext()
+	}
+}
+
+// serveNext serves the queue head, honouring any in-progress stall.
+func (n *simNode) serveNext() {
+	if len(n.queue) == 0 {
+		n.busy = false
+		return
+	}
+	n.busy = true
+	r := n.queue[0]
+	n.queue = n.queue[1:]
+
+	delay := 0.0
+	if n.stallUntil > n.s.now {
+		delay = n.stallUntil - n.s.now
+	}
+	var service, respDelay float64
+	if r.read {
+		service = n.readSync + float64(r.rows)/n.readRate
+		// Handler contention: a scan's RESPONSE slows as the server's
+		// write load grows (shared CPU, cache and disk) — Figure 13's
+		// latency knee near saturation. The extra time is borne by the
+		// scanning handler, not the write path, so it adds latency
+		// without consuming write capacity.
+		if util := n.utilisation(); util > 0 {
+			respDelay = service * (1/(1-0.6*util) - 1)
+		}
+	} else {
+		service = float64(r.kvps) / n.writeRate
+		// The WAL sync completes the write off the service path.
+		respDelay = n.syncLat
+		n.servedKV += int64(r.kvps)
+	}
+	n.busyTime += delay + service
+	n.s.after(delay+service, func() {
+		n.s.after(respDelay, r.done)
+		n.serveNext()
+	})
+}
+
+// utilisation reports the server's cumulative busy fraction.
+func (n *simNode) utilisation() float64 {
+	if n.s.now <= 0 {
+		return 0
+	}
+	u := n.busyTime / n.s.now
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// scheduleStalls installs the recurring compaction/GC stall process.
+func (n *simNode) scheduleStalls(p Params) {
+	if p.StallMeanInterval <= 0 || p.StallMeanDuration <= 0 {
+		return
+	}
+	var next func()
+	next = func() {
+		d := n.s.exp(p.StallMeanDuration)
+		// One in five stalls is a major compaction, a few times longer:
+		// the heavy tail behind Figure 14's CV > 1. Durations are capped —
+		// real HBase flush/compaction pauses top out at a few seconds.
+		if n.s.rng.Float64() < 0.2 {
+			d *= 3
+		}
+		if d > 3 {
+			d = 3
+		}
+		if end := n.s.now + d; end > n.stallUntil {
+			n.stallUntil = end
+		}
+		n.s.after(n.s.exp(p.StallMeanInterval), next)
+	}
+	n.s.after(n.s.exp(p.StallMeanInterval), next)
+}

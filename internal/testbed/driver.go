@@ -1,0 +1,294 @@
+package testbed
+
+import (
+	"tpcxiot/internal/gen"
+	"tpcxiot/internal/histogram"
+	"tpcxiot/internal/metrics"
+	"tpcxiot/internal/workload"
+)
+
+// simDriver models one TPCx-IoT driver instance: ThreadsPerDriver client
+// threads generating batches for one substation and flushing them across
+// the cluster, with a dashboard query after every 2 000 readings.
+type simDriver struct {
+	id      int
+	share   int64 // kvps this instance must ingest (Equation 3)
+	claimed int64 // kvps handed to threads so far
+	done    int64 // kvps acknowledged by the cluster
+
+	weights      []float64 // per-node share of this driver's keys
+	clientFactor float64   // this instance's JVM slowdown on the shared host
+	startAt      float64
+	finishAt     float64
+	active       int // running threads
+
+	sinceQuery   int64
+	lastRateKV   int64
+	lastRateAt   float64
+	windowRate   float64
+	queries      int64
+	rowsRecent   int64
+	rowsHistoric int64
+}
+
+// run orchestrates one workload execution over the virtual cluster.
+type run struct {
+	s       *sim
+	p       Params
+	nodes   []*simNode
+	drivers []*simDriver
+
+	queryLat   *histogram.Histogram
+	insertLat  *histogram.Histogram
+	remaining  int
+	endAt      float64
+	hostFactor float64 // client-cost inflation from shared driver host
+}
+
+// newRun wires up the cluster and drivers for one workload execution.
+func newRun(p Params, nodes, substations int, totalKVPs int64, seed uint64) *run {
+	s := newSim(seed)
+	r := &run{
+		s:         s,
+		p:         p,
+		queryLat:  histogram.New(),
+		insertLat: histogram.New(),
+		remaining: substations,
+	}
+	r.hostFactor = 1 + p.HostContentionMax*(1-expf(-float64(substations-1)/p.HostContentionScale))
+	// Group-commit response latency, amortised over concurrent substations.
+	syncLat := p.SyncLatBase / (1 + p.SyncAmortize*float64(substations-1))
+	for i := 0; i < nodes; i++ {
+		n := newSimNode(s, p, nodes, syncLat)
+		n.scheduleStalls(p)
+		r.nodes = append(r.nodes, n)
+	}
+	threads := float64(substations * p.ThreadsPerDriver)
+	noise := p.DriverNoiseBase + p.DriverNoiseOversub*powf(threads/640, 1.7)
+	for d := 0; d < substations; d++ {
+		u := s.rng.NormFloat64()
+		if u < 0 {
+			u = -u
+		}
+		if u > 2.2 {
+			u = 2.2 // truncate so the slowest instance is not seed-volatile
+		}
+		drv := &simDriver{
+			id:           d,
+			share:        workload.KVPShare(totalKVPs, substations, d+1),
+			weights:      placementWeights(s.rng, nodes, p.PlacementNoise),
+			clientFactor: 1 + u*noise,
+		}
+		r.drivers = append(r.drivers, drv)
+	}
+	return r
+}
+
+// placementWeights draws the fraction of a driver's keys hashed to each
+// node: uniform plus multiplicative noise, renormalised.
+func placementWeights(rng *gen.RNG, nodes int, noise float64) []float64 {
+	w := make([]float64, nodes)
+	total := 0.0
+	for i := range w {
+		f := 1 + noise*rng.NormFloat64()
+		if f < 0.1 {
+			f = 0.1
+		}
+		w[i] = f
+		total += f
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// start launches every driver thread, staggered across roughly one batch
+// cycle so the closed-loop system does not run in artificial lockstep.
+func (r *run) start() {
+	cycle := (float64(r.p.BatchKVPs)/r.p.GenPerThread + r.p.FlushCost) * r.hostFactor
+	for _, d := range r.drivers {
+		d.startAt = r.s.now
+		d.lastRateAt = r.s.now
+		d.active = r.p.ThreadsPerDriver
+		for t := 0; t < r.p.ThreadsPerDriver; t++ {
+			drv := d
+			r.s.after(r.s.rng.Float64()*cycle, func() { r.threadCycle(drv) })
+		}
+	}
+}
+
+// threadCycle is one client thread's loop: claim a batch, generate it,
+// flush it node by node, account it, maybe run the owed query, repeat.
+func (r *run) threadCycle(d *simDriver) {
+	if d.claimed >= d.share {
+		d.active--
+		if d.active == 0 && d.finishAt == 0 {
+			d.finishAt = r.s.now
+			r.remaining--
+			if r.remaining == 0 {
+				r.endAt = r.s.now
+			}
+		}
+		return
+	}
+	batch := int64(r.p.BatchKVPs)
+	if left := d.share - d.claimed; left < batch {
+		batch = left
+	}
+	d.claimed += batch
+
+	// ±10% generation jitter keeps threads from re-synchronising; the
+	// shared driver host inflates generation and flush work as more
+	// driver instances contend for it.
+	genTime := float64(batch) / r.p.GenPerThread * (0.9 + 0.2*r.s.rng.Float64())
+	flushStart := r.s.now
+	r.s.after((genTime+r.p.FlushCost)*r.hostFactor*d.clientFactor, func() {
+		r.flushSub(d, 0, batch, flushStart)
+	})
+}
+
+// flushSub ships sub-batch i of the flush, serially across nodes: the
+// client pays PerRPCCost to serialise each sub-RPC, sends it, and waits
+// for the acknowledgement before preparing the next (the HBase 1.x client
+// write path). After the last acknowledgement the batch is accounted and
+// the thread continues.
+func (r *run) flushSub(d *simDriver, i int, batch int64, flushStart float64) {
+	if r.p.ParallelFlush {
+		r.flushParallel(d, batch, flushStart)
+		return
+	}
+	if i >= len(r.nodes) {
+		r.finishFlush(d, batch, flushStart)
+		return
+	}
+	size := int(float64(batch)*d.weights[i] + 0.5)
+	if size == 0 {
+		r.flushSub(d, i+1, batch, flushStart)
+		return
+	}
+	req := &request{kvps: size}
+	req.done = func() {
+		r.s.after(r.p.RTT/2, func() { r.flushSub(d, i+1, batch, flushStart) })
+	}
+	r.s.after(r.p.PerRPCCost+r.p.RTT/2, func() { r.nodes[i].submit(req) })
+}
+
+// finishFlush accounts a completed flush and continues the thread's loop,
+// running the owed query first when one is due.
+func (r *run) finishFlush(d *simDriver, batch int64, flushStart float64) {
+	r.insertLat.Record(int64((r.s.now - flushStart) * 1e9))
+	d.done += batch
+	d.sinceQuery += batch
+	if d.sinceQuery >= workload.ReadingsPerQueryPair {
+		d.sinceQuery -= workload.ReadingsPerQueryPair
+		r.runQuery(d)
+		return
+	}
+	r.threadCycle(d)
+}
+
+// flushParallel is the ablation client: sub-RPCs are serialised on the
+// client thread (PerRPCCost each, back to back) but their network and
+// server time overlaps; the thread continues when the LAST acknowledgement
+// arrives.
+func (r *run) flushParallel(d *simDriver, batch int64, flushStart float64) {
+	pending := 0
+	serialise := 0.0
+	for i := range r.nodes {
+		size := int(float64(batch)*d.weights[i] + 0.5)
+		if size == 0 {
+			continue
+		}
+		pending++
+		serialise += r.p.PerRPCCost
+		node := r.nodes[i]
+		req := &request{kvps: size}
+		req.done = func() {
+			r.s.after(r.p.RTT/2, func() {
+				pending--
+				if pending == 0 {
+					r.finishFlush(d, batch, flushStart)
+				}
+			})
+		}
+		r.s.after(serialise+r.p.RTT/2, func() { node.submit(req) })
+	}
+	if pending == 0 {
+		r.finishFlush(d, batch, flushStart)
+	}
+}
+
+// driverRate estimates the driver's current ingest rate in kvps/s: a
+// windowed estimate refreshed at most once per virtual second, falling back
+// to the cumulative rate before the first full window.
+func (r *run) driverRate(d *simDriver) float64 {
+	if el := r.s.now - d.lastRateAt; el >= 1 {
+		d.windowRate = float64(d.done-d.lastRateKV) / el
+		d.lastRateKV = d.done
+		d.lastRateAt = r.s.now
+	}
+	if d.windowRate > 0 {
+		return d.windowRate
+	}
+	return float64(d.done) / maxf(r.s.now-d.startAt, 0.1)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runQuery issues one dashboard query: a scan of the last 5 s of one
+// sensor plus a scan of a random historical 5 s window, serially, through
+// the same server queues as the writes.
+func (r *run) runQuery(d *simDriver) {
+	rate := r.driverRate(d)
+	perSensor := rate / metrics.SensorsPerSubstation
+	recentRows := int(perSensor*workload.RecentWindow.Seconds() + 0.5)
+
+	// Historical window: empty if the run has not yet covered the chosen
+	// offset into the previous 1 800 s.
+	offset := workload.RecentWindow.Seconds() +
+		r.s.rng.Float64()*(workload.HistoryWindow.Seconds()-workload.RecentWindow.Seconds())
+	histRows := 0
+	if r.s.now-d.startAt > offset {
+		histRows = recentRows
+	}
+
+	issueAt := r.s.now
+	first := &request{rows: recentRows, read: true}
+	second := &request{rows: histRows, read: true}
+
+	node1 := r.weightedNode(d)
+	node2 := r.weightedNode(d)
+	first.done = func() {
+		r.s.after(r.p.RTT/2, func() {
+			r.s.after(r.p.RTT/2, func() { r.nodes[node2].submit(second) })
+		})
+	}
+	second.done = func() {
+		r.s.after(r.p.RTT/2, func() {
+			r.queryLat.Record(int64((r.s.now - issueAt) * 1e9))
+			d.queries++
+			d.rowsRecent += int64(recentRows)
+			d.rowsHistoric += int64(histRows)
+			r.threadCycle(d)
+		})
+	}
+	r.s.after(r.p.RTT/2, func() { r.nodes[node1].submit(first) })
+}
+
+// weightedNode samples a node according to the driver's key distribution.
+func (r *run) weightedNode(d *simDriver) int {
+	x := r.s.rng.Float64()
+	for i, w := range d.weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(d.weights) - 1
+}

@@ -1,0 +1,122 @@
+// Package testbed is a discrete-event simulator of the paper's evaluation
+// testbeds: clusters of 2, 4 and 8 Cisco UCS blades running HBase 1.2.0
+// behind TPCx-IoT driver instances, plus the standalone driver host of
+// Figure 8.
+//
+// The simulator exists because the paper's experiments ingest up to 400
+// million 1 KiB sensor readings on eight dual-socket servers — far beyond a
+// laptop — while the *analysis* the paper performs (scaling curves,
+// execution-rule floors, latency knees, ingest skew) depends on system
+// dynamics, not absolute hardware speed. The model reproduces those
+// dynamics structurally:
+//
+//   - client driver threads generate fixed-size batches, then flush them
+//     with one sub-RPC per region server, serially (the HBase 1.x client
+//     write path), so per-driver throughput FALLS as servers are added —
+//     the paper's single-substation inversion across 2/4/8 nodes;
+//   - region servers group-commit: a busy server serves its whole queue
+//     under one sync cost, so concurrency amortises the sync and
+//     throughput scales SUPER-linearly at low substation counts before
+//     node capacity saturates it — Figure 10's S₂=2.8 through S₈=8.6;
+//   - dashboard queries ride the same handler queues as writes, so query
+//     latency jumps when the cluster saturates (Figure 13's knee at 16
+//     substations) and rare compaction stalls produce second-long maxima
+//     and a coefficient of variation above 1 (Figure 14);
+//   - each driver hashes its keys across servers with placement noise, so
+//     queueing near saturation amplifies small imbalances into the large
+//     fastest-vs-slowest ingest spreads of Table II.
+//
+// Virtual time advances by event scheduling: a "30-minute" measured run
+// completes in seconds of wall time.
+package testbed
+
+import (
+	"container/heap"
+
+	"tpcxiot/internal/gen"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  float64 // virtual seconds
+	seq uint64  // tie-break for deterministic ordering
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// sim is the event loop: a virtual clock plus a pending-event heap.
+type sim struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	rng    *gen.RNG
+	events uint64
+}
+
+func newSim(seed uint64) *sim {
+	return &sim{rng: gen.NewRNG(seed)}
+}
+
+// after schedules fn delay virtual seconds from now.
+func (s *sim) after(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// runUntil processes events, advancing virtual time, until stop() reports
+// true, the queue empties, or the event budget is exhausted (a
+// runaway-model guard). Returns false only on budget exhaustion.
+func (s *sim) runUntil(stop func() bool, maxEvents uint64) bool {
+	for len(s.queue) > 0 && !stop() {
+		if s.events >= maxEvents {
+			return false
+		}
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+	return true
+}
+
+// exp draws an exponential variate with the given mean.
+func (s *sim) exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	// Inverse CDF with a guard against log(0).
+	u := s.rng.Float64()
+	if u >= 0.999999999 {
+		u = 0.999999999
+	}
+	return -mean * ln1m(u)
+}
+
+// ln1m computes ln(1-u) via the math package; kept as a helper so the
+// sampling site reads naturally.
+func ln1m(u float64) float64 {
+	return logf(1 - u)
+}

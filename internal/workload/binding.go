@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"errors"
+
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/ycsb"
+)
+
+// clientDB adapts an hbase.Client to the ycsb.DB interface. Each worker
+// thread receives its own client (and thus its own write buffer), matching
+// how YCSB binds one HBase connection per thread.
+type clientDB struct {
+	c *hbase.Client
+}
+
+// Insert implements ycsb.DB.
+func (d clientDB) Insert(key, value []byte) error { return d.c.Put(key, value) }
+
+// Read implements ycsb.DB.
+func (d clientDB) Read(key []byte) ([]byte, bool, error) { return d.c.Get(key) }
+
+// Scan implements ycsb.DB.
+func (d clientDB) Scan(lo, hi []byte, limit int) ([]ycsb.KV, error) {
+	rows, err := d.c.Scan(lo, hi, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ycsb.KV, len(rows))
+	for i, r := range rows {
+		out[i] = ycsb.KV{Key: r.Key, Value: r.Value}
+	}
+	return out, nil
+}
+
+// Close implements ycsb.DB, flushing buffered writes.
+func (d clientDB) Close() error { return d.c.Close() }
+
+// ClusterBinding returns a ycsb.Binding that opens one buffered client per
+// worker thread against the given cluster table. writeBufferBytes is the
+// client-side buffer threshold (hbase.client.write.buffer); 0 disables
+// buffering.
+func ClusterBinding(cl *hbase.Cluster, table string, writeBufferBytes int64) ycsb.Binding {
+	return func(thread int) (ycsb.DB, error) {
+		c, err := cl.NewClient(table, writeBufferBytes)
+		if err != nil {
+			return nil, err
+		}
+		return clientDB{c: c}, nil
+	}
+}
+
+// ClusterBindingTCP is ClusterBinding over the cluster's loopback TCP wire
+// protocol: each worker thread gets its own connections to the region
+// servers, exercising the client-to-server network path of the SUT. The
+// cluster must already be serving TCP.
+func ClusterBindingTCP(cl *hbase.Cluster, table string, writeBufferBytes int64) ycsb.Binding {
+	return func(thread int) (ycsb.DB, error) {
+		c, err := cl.NewTCPClient(table, writeBufferBytes)
+		if err != nil {
+			return nil, err
+		}
+		return clientDB{c: c}, nil
+	}
+}
+
+// storeDB adapts a single embedded LSM store to ycsb.DB — the smallest
+// possible gateway: one node, no replication, no network. Useful for
+// embedded deployments and for isolating the storage engine in benchmarks.
+type storeDB struct {
+	s *lsm.Store
+}
+
+// Insert implements ycsb.DB.
+func (d storeDB) Insert(key, value []byte) error { return d.s.Put(key, value) }
+
+// Read implements ycsb.DB.
+func (d storeDB) Read(key []byte) ([]byte, bool, error) { return d.s.Get(key) }
+
+// Scan implements ycsb.DB.
+func (d storeDB) Scan(lo, hi []byte, limit int) ([]ycsb.KV, error) {
+	var out []ycsb.KV
+	err := d.s.Scan(lo, hi, func(k, v []byte) error {
+		out = append(out, ycsb.KV{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		if limit > 0 && len(out) >= limit {
+			return errStopScan
+		}
+		return nil
+	})
+	if err == errStopScan {
+		err = nil
+	}
+	return out, err
+}
+
+// Close implements ycsb.DB; the store is shared, so this is a no-op.
+func (d storeDB) Close() error { return nil }
+
+var errStopScan = errors.New("workload: scan limit reached")
+
+// StoreBinding returns a ycsb.Binding over one embedded LSM store shared by
+// all worker threads (the store is safe for concurrent use).
+func StoreBinding(s *lsm.Store) ycsb.Binding {
+	return func(thread int) (ycsb.DB, error) { return storeDB{s: s}, nil }
+}

@@ -1,0 +1,413 @@
+// Package workload implements the TPCx-IoT workload: sensor-data ingestion
+// for simulated power substations and the four concurrent dashboard query
+// templates, layered on the ycsb framework exactly as the paper describes
+// (Sections III-C and III-D).
+//
+// One Instance corresponds to one TPCx-IoT driver instance, which simulates
+// one power substation with 200 sensors. Threads within the instance own
+// disjoint sensor subsets and interleave inserts with queries at the
+// specified ratio (five queries per 10 000 sensor readings).
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"tpcxiot/internal/gen"
+	"tpcxiot/internal/kvp"
+	"tpcxiot/internal/sensors"
+	"tpcxiot/internal/ycsb"
+)
+
+// Specification constants.
+const (
+	// ReadingsPerQueryPair is the ingest-to-query ratio: the paper executes
+	// five queries for every 10 000 sensor readings, i.e. one per 2 000.
+	ReadingsPerQueryPair = 2000
+
+	// RecentWindow is the "last 5 seconds" interval every query reads.
+	RecentWindow = 5 * time.Second
+
+	// HistoryWindow is the range from which the comparison interval is
+	// drawn: a random 5-second window within the previous 1 800 seconds.
+	HistoryWindow = 1800 * time.Second
+
+	// DefaultThreads is the worker-thread count per driver instance; the
+	// paper's Figure 8 discussion (64 drivers spawning 640 threads) implies
+	// ten threads per driver.
+	DefaultThreads = 10
+)
+
+// SubstationName renders the canonical substation key for driver instance i.
+func SubstationName(i int) string {
+	return fmt.Sprintf("substation-%05d", i)
+}
+
+// SubstationNames returns the keys for driver instances 0..n-1.
+func SubstationNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = SubstationName(i)
+	}
+	return out
+}
+
+// SplitKeys returns table pre-split points that give every substation its
+// own region: one boundary at each substation's key prefix except the first.
+func SplitKeys(substations []string) [][]byte {
+	var out [][]byte
+	for i, s := range substations {
+		if i == 0 {
+			continue
+		}
+		out = append(out, kvp.SensorPrefix(s, "")[:len(s)+1])
+	}
+	return out
+}
+
+// KVPShare implements Equation 3: the number of kvps driver instance i
+// (1-based, i in [1, p]) must generate when k total kvps are spread over p
+// instances. The final instance absorbs the remainder.
+func KVPShare(k int64, p int, i int) int64 {
+	if p <= 0 || i < 1 || i > p {
+		return 0
+	}
+	share := k / int64(p)
+	if i == p {
+		share += k % int64(p)
+	}
+	return share
+}
+
+// QueryKind names the four dashboard query templates of Section III-D.
+type QueryKind int
+
+// The four templates.
+const (
+	QueryMax QueryKind = iota
+	QueryMin
+	QueryAvg
+	QueryCount
+	queryKinds
+)
+
+// String names the template.
+func (q QueryKind) String() string {
+	switch q {
+	case QueryMax:
+		return "max-reading"
+	case QueryMin:
+		return "min-reading"
+	case QueryAvg:
+		return "average-reading"
+	case QueryCount:
+		return "reading-count"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(q))
+	}
+}
+
+// Aggregate is the dashboard value computed over one 5-second interval.
+type Aggregate struct {
+	// Rows is the number of readings in the interval.
+	Rows int
+	// Max, Min, Avg are reading statistics; zero when Rows is 0.
+	Max, Min, Avg float64
+}
+
+// QueryResult compares the aggregates of the two intervals, as every
+// template does.
+type QueryResult struct {
+	Kind       QueryKind
+	Substation string
+	Sensor     string
+	// Recent covers [now-5s, now); Historical a random 5 s window from the
+	// previous 1 800 s.
+	Recent, Historical Aggregate
+}
+
+// Value returns the dashboard comparison value for the template: the
+// recent-interval statistic minus the historical one (count difference for
+// QueryCount).
+func (r QueryResult) Value() float64 {
+	switch r.Kind {
+	case QueryMax:
+		return r.Recent.Max - r.Historical.Max
+	case QueryMin:
+		return r.Recent.Min - r.Historical.Min
+	case QueryAvg:
+		return r.Recent.Avg - r.Historical.Avg
+	default:
+		return float64(r.Recent.Rows - r.Historical.Rows)
+	}
+}
+
+// aggregateRows computes an Aggregate from scanned rows.
+func aggregateRows(rows []ycsb.KV) (Aggregate, error) {
+	var agg Aggregate
+	sum := 0.0
+	for _, row := range rows {
+		val, err := kvp.DecodeValue(row.Value)
+		if err != nil {
+			return Aggregate{}, fmt.Errorf("workload: bad stored value: %w", err)
+		}
+		f, err := strconv.ParseFloat(val.Reading, 64)
+		if err != nil {
+			return Aggregate{}, fmt.Errorf("workload: non-numeric reading %q: %w", val.Reading, err)
+		}
+		if agg.Rows == 0 || f > agg.Max {
+			agg.Max = f
+		}
+		if agg.Rows == 0 || f < agg.Min {
+			agg.Min = f
+		}
+		sum += f
+		agg.Rows++
+	}
+	if agg.Rows > 0 {
+		agg.Avg = sum / float64(agg.Rows)
+	}
+	return agg, nil
+}
+
+// RunQuery executes one dashboard query template against db at time now:
+// two range scans (recent and historical 5 s intervals for one sensor of
+// one substation) plus the aggregation. Exported so examples and the query
+// tooling can issue standalone dashboard queries.
+func RunQuery(db ycsb.DB, kind QueryKind, substation, sensor string,
+	now time.Time, histStart time.Time) (QueryResult, error) {
+
+	res := QueryResult{Kind: kind, Substation: substation, Sensor: sensor}
+
+	nowMS := now.UnixMilli()
+	lo, hi := kvp.RangeFor(substation, sensor, nowMS-RecentWindow.Milliseconds(), nowMS)
+	rows, err := db.Scan(lo, hi, 0)
+	if err != nil {
+		return res, fmt.Errorf("workload: recent scan: %w", err)
+	}
+	if res.Recent, err = aggregateRows(rows); err != nil {
+		return res, err
+	}
+
+	hs := histStart.UnixMilli()
+	lo, hi = kvp.RangeFor(substation, sensor, hs, hs+RecentWindow.Milliseconds())
+	rows, err = db.Scan(lo, hi, 0)
+	if err != nil {
+		return res, fmt.Errorf("workload: historical scan: %w", err)
+	}
+	if res.Historical, err = aggregateRows(rows); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// InstanceStats aggregates what one driver instance did, beyond the latency
+// measurement the ycsb layer records.
+type InstanceStats struct {
+	// Inserted is the number of sensor readings ingested.
+	Inserted int64
+	// Queries is the number of dashboard queries executed.
+	Queries int64
+	// RowsAggregated is the total readings aggregated from the RECENT
+	// interval across all queries.
+	RowsAggregated int64
+	// HistoricalRows is the same for the random historical interval.
+	HistoricalRows int64
+}
+
+// AvgRowsPerQuery is Figure 12's y-axis: mean readings aggregated per
+// query over both 5-second intervals. A benchmark run is invalid below
+// 200, which is Equation 2's 100-reading floor applied to each interval.
+func (s InstanceStats) AvgRowsPerQuery() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.RowsAggregated+s.HistoricalRows) / float64(s.Queries)
+}
+
+// InstanceConfig configures one driver instance (one simulated substation).
+type InstanceConfig struct {
+	// Substation is the substation key. Required.
+	Substation string
+	// Readings is SR, the number of sensor readings to generate (the
+	// instance's KVPShare). Required.
+	Readings int64
+	// Threads is the worker count; informational here (the ycsb RunConfig
+	// carries the actual count) — retained for report rendering.
+	Threads int
+	// Seed makes the generated data deterministic.
+	Seed uint64
+	// Now supplies the clock; defaults to time.Now. The testbed injects a
+	// virtual clock.
+	Now func() time.Time
+	// DisableQueries turns off query injection (pure-ingest experiments
+	// such as Figure 8's generation-speed measurement).
+	DisableQueries bool
+}
+
+// Instance is one TPCx-IoT driver instance: a ycsb.Workload that generates
+// the substation's sensor readings and interleaved dashboard queries.
+type Instance struct {
+	cfg      InstanceConfig
+	catalog  []sensors.Sensor
+	clock    func() time.Time
+	inserted atomic.Int64
+	queries  atomic.Int64
+	aggRows  atomic.Int64
+	histRows atomic.Int64
+}
+
+// NewInstance validates the configuration and builds the driver instance.
+func NewInstance(cfg InstanceConfig) (*Instance, error) {
+	if cfg.Substation == "" {
+		return nil, fmt.Errorf("workload: Substation is required")
+	}
+	if err := (kvp.Key{Substation: cfg.Substation, Sensor: "x", Timestamp: 0}).Validate(); err != nil {
+		return nil, fmt.Errorf("workload: bad substation key: %w", err)
+	}
+	if cfg.Readings <= 0 {
+		return nil, fmt.Errorf("workload: Readings must be positive, got %d", cfg.Readings)
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = DefaultThreads
+	}
+	clock := cfg.Now
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Instance{cfg: cfg, catalog: sensors.Catalogue(), clock: clock}, nil
+}
+
+// Stats snapshots the instance's progress counters.
+func (in *Instance) Stats() InstanceStats {
+	return InstanceStats{
+		Inserted:       in.inserted.Load(),
+		Queries:        in.queries.Load(),
+		RowsAggregated: in.aggRows.Load(),
+		HistoricalRows: in.histRows.Load(),
+	}
+}
+
+// Substation returns the configured substation key.
+func (in *Instance) Substation() string { return in.cfg.Substation }
+
+// Readings returns the configured SR.
+func (in *Instance) Readings() int64 { return in.cfg.Readings }
+
+// NewThread implements ycsb.Workload. Thread t of n owns the sensors whose
+// catalogue index is congruent to t mod n and generates its share of SR.
+func (in *Instance) NewThread(id, of int) ycsb.ThreadWorkload {
+	quota := in.cfg.Readings / int64(of)
+	if int64(id) < in.cfg.Readings%int64(of) {
+		quota++
+	}
+	var mine []sensors.Sensor
+	for i := id; i < len(in.catalog); i += of {
+		mine = append(mine, in.catalog[i])
+	}
+	rng := gen.NewRNG(in.cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+	t := &instanceThread{
+		inst:    in,
+		rng:     rng,
+		quota:   quota,
+		sensors: mine,
+		readers: make([]*sensors.Reader, len(mine)),
+		lastTS:  make([]int64, len(mine)),
+	}
+	for i, s := range mine {
+		t.readers[i] = sensors.NewReader(s, rng.Uint64())
+	}
+	return t
+}
+
+type instanceThread struct {
+	inst    *Instance
+	rng     *gen.RNG
+	quota   int64
+	done    int64
+	sensors []sensors.Sensor
+	readers []*sensors.Reader
+	lastTS  []int64 // per-sensor last used timestamp, for key uniqueness
+	cursor  int     // round-robin sensor index
+
+	sinceQuery int64
+	keyBuf     []byte
+	valBuf     []byte
+	padBuf     []byte
+}
+
+// Next implements ycsb.ThreadWorkload: mostly inserts, with one dashboard
+// query injected after every ReadingsPerQueryPair readings.
+func (t *instanceThread) Next(db ycsb.DB) (ycsb.OpKind, bool, error) {
+	if !t.inst.cfg.DisableQueries && t.sinceQuery >= ReadingsPerQueryPair {
+		// The query owed for the last full batch of readings fires before
+		// the quota check so the final batch is also followed by its query.
+		t.sinceQuery = 0
+		return ycsb.OpQuery, false, t.runQuery(db)
+	}
+	if t.done >= t.quota {
+		return 0, true, nil
+	}
+	t.done++
+	t.sinceQuery++
+	return ycsb.OpInsert, false, t.insert(db)
+}
+
+func (t *instanceThread) insert(db ycsb.DB) error {
+	if len(t.sensors) == 0 {
+		return fmt.Errorf("workload: thread owns no sensors (more threads than sensors)")
+	}
+	i := t.cursor
+	t.cursor = (t.cursor + 1) % len(t.sensors)
+	s := t.sensors[i]
+
+	ts := t.inst.clock().UnixMilli()
+	if ts <= t.lastTS[i] {
+		ts = t.lastTS[i] + 1 // keep per-sensor keys unique at high rates
+	}
+	t.lastTS[i] = ts
+
+	key := kvp.Key{Substation: t.inst.cfg.Substation, Sensor: s.Key, Timestamp: ts}
+	reading := t.readers[i].NextString()
+	unit := s.Unit()
+	padLen, err := kvp.PaddingFor(key, reading, unit)
+	if err != nil {
+		return err
+	}
+	if cap(t.padBuf) < padLen {
+		t.padBuf = make([]byte, padLen)
+	}
+	pad := gen.Text(t.rng, t.padBuf[:padLen])
+
+	t.keyBuf = key.Append(t.keyBuf[:0])
+	v := kvp.Value{Reading: reading, Unit: unit, Padding: pad}
+	t.valBuf = v.Append(t.valBuf[:0])
+
+	if err := db.Insert(t.keyBuf, t.valBuf); err != nil {
+		return fmt.Errorf("workload: insert: %w", err)
+	}
+	t.inst.inserted.Add(1)
+	return nil
+}
+
+func (t *instanceThread) runQuery(db ycsb.DB) error {
+	s := t.sensors[t.rng.Intn(len(t.sensors))]
+	kind := QueryKind(t.rng.Intn(int(queryKinds)))
+	now := t.inst.clock()
+	// Random 5 s window inside the previous 1 800 s (excluding the recent
+	// window itself).
+	span := (HistoryWindow - RecentWindow).Milliseconds()
+	offset := t.rng.Int63n(span) + RecentWindow.Milliseconds()
+	histStart := now.Add(-time.Duration(offset) * time.Millisecond)
+
+	res, err := RunQuery(db, kind, t.inst.cfg.Substation, s.Key, now, histStart)
+	if err != nil {
+		return err
+	}
+	t.inst.queries.Add(1)
+	t.inst.aggRows.Add(int64(res.Recent.Rows))
+	t.inst.histRows.Add(int64(res.Historical.Rows))
+	return nil
+}
