@@ -17,10 +17,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"time"
 
 	"tpcxiot/internal/driver"
 	"tpcxiot/internal/hbase"
 	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/telemetry"
 	"tpcxiot/internal/wal"
 )
 
@@ -39,6 +42,11 @@ func main() {
 		durable     = flag.Bool("durable", false, "fsync the WAL on every append (slow, crash-safe)")
 		useTCP      = flag.Bool("tcp", false, "drive the cluster over its loopback TCP wire protocol")
 		status      = flag.Duration("status", 0, "log a status line for driver 0 on this interval (e.g. 2s)")
+
+		telemetryOn  = flag.Bool("telemetry", false, "collect engine counters, op-path spans and a per-interval time series")
+		telemetryInt = flag.Duration("telemetry-interval", 10*time.Second, "telemetry sampling period")
+		telemetryCSV = flag.String("telemetry-csv", "", "write the telemetry time series to this CSV file (default results/telemetry-<pid>.csv when -telemetry is on)")
+		telemetryAdr = flag.String("telemetry-addr", "", "serve /metrics (JSON) and /debug/pprof on this address, e.g. localhost:6060 (implies -telemetry)")
 	)
 	flag.Parse()
 
@@ -52,6 +60,24 @@ func main() {
 		defer os.RemoveAll(dir)
 	}
 
+	// Telemetry: one registry shared by the cluster (engine counters, put
+	// spans) and the driver (op histograms, the interval ticker).
+	var reg *telemetry.Registry
+	if *telemetryOn || *telemetryAdr != "" {
+		reg = telemetry.NewRegistry()
+		if *telemetryCSV == "" {
+			*telemetryCSV = filepath.Join("results", fmt.Sprintf("telemetry-%d.csv", os.Getpid()))
+		}
+	}
+	if *telemetryAdr != "" {
+		srv, addr, err := telemetry.Serve(*telemetryAdr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry: /metrics and /debug/pprof on http://%s", addr)
+	}
+
 	sync := wal.SyncNever
 	if *durable {
 		sync = wal.SyncOnAppend
@@ -61,6 +87,7 @@ func main() {
 		HandlerCount: *handlers,
 		DataDir:      dir,
 		Store:        lsm.Options{WALSync: sync},
+		Registry:     reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -86,6 +113,8 @@ func main() {
 		Iterations:         *iterations,
 		MinWorkloadSeconds: *minSeconds,
 		StatusInterval:     *status,
+		Telemetry:          reg,
+		TelemetryInterval:  *telemetryInt,
 		Logf: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
@@ -97,7 +126,46 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Report())
+	if reg != nil {
+		if err := writeSeriesCSVs(*telemetryCSV, res); err != nil {
+			log.Printf("telemetry: csv export: %v", err)
+		}
+	}
 	if !res.Valid() {
 		os.Exit(2)
 	}
+}
+
+// writeSeriesCSVs exports each iteration's measured-run time series. With
+// one iteration the series goes to path verbatim; with more, each file gets
+// an -iterN suffix so no iteration overwrites another.
+func writeSeriesCSVs(path string, res *driver.Result) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	ext := filepath.Ext(path)
+	base := path[:len(path)-len(ext)]
+	for i, it := range res.Iterations {
+		s := it.Measured.Series
+		if s == nil || len(s.Points) == 0 {
+			continue
+		}
+		out := path
+		if len(res.Iterations) > 1 {
+			out = fmt.Sprintf("%s-iter%d%s", base, i+1, ext)
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		err = s.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("telemetry: iteration %d measured-run series written to %s", i+1, out)
+	}
+	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"tpcxiot/internal/audit"
 	"tpcxiot/internal/histogram"
 	"tpcxiot/internal/metrics"
+	"tpcxiot/internal/telemetry"
 	"tpcxiot/internal/workload"
 	"tpcxiot/internal/ycsb"
 )
@@ -86,6 +87,16 @@ type Config struct {
 	// StatusInterval, when positive, logs a YCSB-style status line for the
 	// first driver instance on that period via Logf.
 	StatusInterval time.Duration
+	// Telemetry, when non-nil, collects engine counters and operation
+	// latencies cluster-wide: every workload execution samples it on
+	// TelemetryInterval into a per-interval time series (attached to the
+	// Execution), streams each point through Logf, and the final registry
+	// summary is attached to the Result. The SUT must share the same
+	// registry for engine counters to appear.
+	Telemetry *telemetry.Registry
+	// TelemetryInterval is the sampling period. Defaults to 10 s, the YCSB
+	// status-line default.
+	TelemetryInterval time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -119,6 +130,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.TelemetryInterval <= 0 {
+		c.TelemetryInterval = 10 * time.Second
+	}
 	return c, nil
 }
 
@@ -148,6 +162,9 @@ type Execution struct {
 	Drivers []DriverOutcome
 	// InsertLatency and QueryLatency merge all instances' distributions.
 	InsertLatency, QueryLatency histogram.Snapshot
+	// Series is the telemetry time series sampled during the execution;
+	// nil when telemetry is disabled.
+	Series *telemetry.Series
 }
 
 // Elapsed is the execution's wall-clock duration.
@@ -215,6 +232,9 @@ type Result struct {
 	// Compliant is true when the run used the specification thresholds
 	// (not a scaled-down MinWorkloadSeconds).
 	Compliant bool
+	// Telemetry is the final cumulative registry summary (counters, gauges
+	// and span histograms across the whole run); nil when disabled.
+	Telemetry *telemetry.Summary
 }
 
 // Checks flattens every checklist in the result.
@@ -317,6 +337,7 @@ func Run(cfg Config) (*Result, error) {
 				res.Iterations[1].Measured.IoTps(),
 				c.RepeatabilityTolerance))
 	}
+	res.Telemetry = c.Telemetry.Summary()
 	return res, nil
 }
 
@@ -340,6 +361,16 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 	runs := make([]driverRun, c.Drivers)
 	var wg sync.WaitGroup
 
+	// Telemetry ticker: one per execution, so each warmup/measured run gets
+	// its own series while the registry stays cumulative underneath.
+	var ticker *telemetry.Ticker
+	if c.Telemetry != nil {
+		ticker = telemetry.NewTicker(c.Telemetry, c.TelemetryInterval, func(p telemetry.Point) {
+			c.Logf("telemetry %s", p)
+		})
+		ticker.Start()
+	}
+
 	start := c.Now()
 	for d := 0; d < c.Drivers; d++ {
 		wg.Add(1)
@@ -352,12 +383,13 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 				Threads:    c.ThreadsPerDriver,
 				Seed:       c.Seed ^ (uint64(d)+1)*0x2545f4914f6cdd1d ^ salt*0x9e3779b97f4a7c15,
 				Now:        c.Now,
+				Registry:   c.Telemetry,
 			})
 			if err != nil {
 				runs[d].err = err
 				return
 			}
-			runCfg := ycsb.RunConfig{Threads: c.ThreadsPerDriver}
+			runCfg := ycsb.RunConfig{Threads: c.ThreadsPerDriver, Registry: c.Telemetry}
 			if d == 0 && c.StatusInterval > 0 {
 				runCfg.StatusInterval = c.StatusInterval
 				runCfg.Status = func(st ycsb.Status) {
@@ -383,6 +415,9 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 	end := c.Now()
 
 	exec := Execution{Start: start, End: end}
+	if ticker != nil {
+		exec.Series = ticker.Stop()
+	}
 	var inserts, queries []histogram.Snapshot
 	for d, r := range runs {
 		if r.err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // Report renders the run report printed after the second iteration's data
@@ -28,14 +30,21 @@ func (r *Result) Report() string {
 		minT, maxT, avgT := it.Measured.IngestSkew()
 		fmt.Fprintf(&b, "  per-substation ingest time: min %.1fs  max %.1fs  avg %.1fs\n",
 			minT.Seconds(), maxT.Seconds(), avgT.Seconds())
+		if ins := it.Measured.InsertLatency; ins.Count() > 0 {
+			fmt.Fprintf(&b, "  insert latency (ns): %s\n", ins)
+		}
 		if q := it.Measured.QueryLatency; q.Count() > 0 {
+			fmt.Fprintf(&b, "  query latency (ns):  %s\n", q)
 			fmt.Fprintf(&b, "  queries: %d  avg %.1fms  min %.1fms  max %.1fms  p95 %.1fms  cv %.2f\n",
 				q.Count(), ms(q.Mean()), msI(q.Min()), msI(q.Max()),
 				msI(q.Percentile(95)), q.CV())
 			fmt.Fprintf(&b, "  readings aggregated per query: %.1f\n", it.Measured.AvgRowsPerQuery())
 		}
+		writeSeries(&b, it.Measured.Series)
 		fmt.Fprintf(&b, "%s\n", it.Checks)
 	}
+
+	writeTelemetry(&b, r.Telemetry)
 
 	fmt.Fprintf(&b, "Primary metrics\n---------------\n")
 	if iotps, err := r.Metric.IoTps(); err == nil {
@@ -55,3 +64,58 @@ func (r *Result) Report() string {
 
 func ms(ns float64) float64 { return ns / 1e6 }
 func msI(ns int64) float64  { return float64(ns) / 1e6 }
+
+// seriesPrintCap bounds the per-interval lines rendered inline; longer
+// series are summarised (the full series goes to the CSV export).
+const seriesPrintCap = 20
+
+// writeSeries renders the measured run's telemetry time series: every point
+// for short series, a summary for long ones.
+func writeSeries(b *strings.Builder, s *telemetry.Series) {
+	if s == nil || len(s.Points) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  time series (%s intervals):\n", s.Interval)
+	if len(s.Points) <= seriesPrintCap {
+		for _, p := range s.Points {
+			fmt.Fprintf(b, "    %s\n", p)
+		}
+		return
+	}
+	peak, trough := s.PeakRate()
+	fmt.Fprintf(b, "    %d intervals; throughput peak %.1f ops/s, trough %.1f ops/s (full series in CSV export)\n",
+		len(s.Points), peak, trough)
+}
+
+// putStages is the ingest pipeline in data-flow order: client buffer flush,
+// WAL append, memstore insert, region flush.
+var putStages = []string{"put.client_flush", "put.wal_append", "put.memstore", "put.region_flush"}
+
+// writeTelemetry renders the run-wide registry summary: the put-path stage
+// latency breakdown, query template latencies, and engine counters.
+func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(b, "Telemetry\n---------\n")
+	fmt.Fprintf(b, "  put path (ns per stage, pipeline order):\n")
+	for _, stage := range putStages {
+		snap, ok := t.Histogram(stage)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(b, "    %-18s %s\n", stage, snap)
+	}
+	for _, h := range t.Histograms {
+		if strings.HasPrefix(h.Name, "query.") {
+			fmt.Fprintf(b, "  %-20s %s\n", h.Name, h.Snap)
+		}
+	}
+	if len(t.Counters) > 0 {
+		fmt.Fprintf(b, "  counters:\n")
+		for _, c := range t.Counters {
+			fmt.Fprintf(b, "    %-24s %d\n", c.Name, c.Value)
+		}
+	}
+	fmt.Fprintf(b, "\n")
+}

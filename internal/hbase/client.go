@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // ErrClientClosed is returned by operations on a closed client.
@@ -26,6 +28,9 @@ type Client struct {
 	buffers  map[*tableRegion][]Mutation
 	buffered int64
 	closed   bool
+
+	flushesC  *telemetry.Counter // hbase.buffer_flushes
+	flushSpan *telemetry.Timer   // put.client_flush
 }
 
 // NewClient returns an in-process client for the table with the given
@@ -55,6 +60,8 @@ func (cl *Cluster) newClient(tableName string, writeBufferBytes int64, rpc trans
 		rpc:              rpc,
 		writeBufferBytes: writeBufferBytes,
 		buffers:          make(map[*tableRegion][]Mutation),
+		flushesC:         cl.cfg.Registry.Counter("hbase.buffer_flushes"),
+		flushSpan:        cl.cfg.Registry.Timer("put.client_flush"),
 	}, nil
 }
 
@@ -89,6 +96,7 @@ func (c *Client) FlushCommits() error {
 	if c.closed {
 		return ErrClientClosed
 	}
+	sp := c.flushSpan.Start()
 	for tr, batch := range c.buffers {
 		if len(batch) == 0 {
 			continue
@@ -99,6 +107,8 @@ func (c *Client) FlushCommits() error {
 		delete(c.buffers, tr)
 	}
 	c.buffered = 0
+	sp.End()
+	c.flushesC.Inc()
 	return nil
 }
 

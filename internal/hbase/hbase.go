@@ -28,6 +28,7 @@ import (
 	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/region"
 	"tpcxiot/internal/replication"
+	"tpcxiot/internal/telemetry"
 )
 
 // Sentinel errors.
@@ -55,6 +56,11 @@ type Config struct {
 	DataDir string
 	// Store is the per-region LSM configuration (Dir is set internally).
 	Store lsm.Options
+	// Registry, when non-nil, collects cluster-wide telemetry: it is handed
+	// to every region's LSM store (and through it the WAL), to replication
+	// groups ("replication.acks"), to clients ("hbase.buffer_flushes",
+	// "put.client_flush") and to splits ("region.splits").
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -76,6 +82,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.HandlerCount <= 0 {
 		c.HandlerCount = 32
+	}
+	if c.Store.Registry == nil {
+		c.Store.Registry = c.Registry
 	}
 	return c, nil
 }
@@ -191,6 +200,7 @@ func (cl *Cluster) CreateTable(name string, splits [][]byte) (*Table, error) {
 			appliers = append(appliers, r.Store())
 		}
 		tr.group = replication.NewGroup(appliers[0], appliers[1:]...)
+		tr.group.Instrument(cl.cfg.Registry.Counter("replication.acks"))
 		t.regions = append(t.regions, tr)
 	}
 	cl.tables[name] = t

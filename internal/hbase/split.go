@@ -88,6 +88,10 @@ func (cl *Cluster) SplitRegion(table string, splitKey []byte) error {
 	}
 	leftTR.group = replication.NewGroup(leftAppliers[0], leftAppliers[1:]...)
 	rightTR.group = replication.NewGroup(rightAppliers[0], rightAppliers[1:]...)
+	acks := cl.cfg.Registry.Counter("replication.acks")
+	leftTR.group.Instrument(acks)
+	rightTR.group.Instrument(acks)
+	cl.cfg.Registry.Counter("region.splits").Inc()
 
 	// Install: splice the children in place of the parent and record the
 	// new boundary.

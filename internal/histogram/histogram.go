@@ -10,6 +10,7 @@ package histogram
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"sync"
@@ -63,6 +64,23 @@ func bucketIndex(v int64) int {
 		idx = bucketCount - 1
 	}
 	return idx
+}
+
+// bucketLowerBound returns the smallest value that maps to bucket i.
+func bucketLowerBound(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	group := i / subBuckets
+	sub := uint64(i % subBuckets)
+	msb := group + subBucketBits - 1
+	base := uint64(1) << uint(msb)
+	step := base >> subBucketBits
+	v := base + sub*step
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
 }
 
 // bucketUpperBound returns a representative (upper-bound) value for bucket i.
@@ -261,8 +279,67 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	return out
 }
 
-// String summarises the distribution.
+// Sub returns the distribution of the observations recorded after prev was
+// taken, assuming prev is an earlier snapshot of the same (or a merged)
+// histogram. This is how the telemetry ticker converts cumulative
+// distributions into per-interval ones. Count, mean, standard deviation and
+// percentiles of the difference are exact to bucket resolution; Min and Max
+// are bucket-bound approximations because the extremes of the interval are
+// not recoverable from cumulative state.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var out Snapshot
+	out.state.min = math.MaxInt64
+	if s.state.count <= prev.state.count {
+		return out
+	}
+	first, last := -1, -1
+	for i := range s.state.buckets {
+		d := s.state.buckets[i] - prev.state.buckets[i]
+		if d < 0 {
+			d = 0
+		}
+		out.state.buckets[i] = d
+		if d > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	out.state.count = s.state.count - prev.state.count
+	out.state.sum = s.state.sum - prev.state.sum
+	out.state.sumSq = s.state.sumSq - prev.state.sumSq
+	if out.state.sum < 0 {
+		out.state.sum = 0
+	}
+	if out.state.sumSq < 0 {
+		out.state.sumSq = 0
+	}
+	if first >= 0 {
+		out.state.min = bucketLowerBound(first)
+		if out.state.min < s.state.min {
+			out.state.min = s.state.min
+		}
+		out.state.max = bucketUpperBound(last)
+		if out.state.max > s.state.max {
+			out.state.max = s.state.max
+		}
+	}
+	return out
+}
+
+// String summarises the distribution on one line:
+// count/min/mean/p50/p95/p99/max. Values are in the recorded unit
+// (nanoseconds throughout the kit).
 func (s Snapshot) String() string {
-	return fmt.Sprintf("count=%d min=%d mean=%.1f max=%d p95=%d cv=%.2f",
-		s.Count(), s.Min(), s.Mean(), s.Max(), s.Percentile(95), s.CV())
+	return fmt.Sprintf("count=%d min=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		s.Count(), s.Min(), s.Mean(),
+		s.Percentile(50), s.Percentile(95), s.Percentile(99), s.Max())
+}
+
+// WriteTo writes the String rendering to w, implementing io.WriterTo so
+// report builders can stream snapshot lines without intermediate buffers.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, s.String())
+	return int64(n), err
 }

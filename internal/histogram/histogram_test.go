@@ -1,7 +1,9 @@
 package histogram
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -194,6 +196,120 @@ func TestStringDoesNotPanic(t *testing.T) {
 	h.Record(5)
 	if s := h.Snapshot().String(); s == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+func TestStringAndWriteToRenderer(t *testing.T) {
+	h := New()
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	s := h.Snapshot()
+	line := s.String()
+	want := fmt.Sprintf("count=100 min=1 mean=50.5 p50=%d p95=%d p99=%d max=100",
+		s.Percentile(50), s.Percentile(95), s.Percentile(99))
+	if line != want {
+		t.Fatalf("String() = %q, want %q", line, want)
+	}
+	var b strings.Builder
+	n, err := s.WriteTo(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != line || n != int64(len(line)) {
+		t.Fatalf("WriteTo wrote %q (%d bytes), want %q", b.String(), n, line)
+	}
+}
+
+// TestConcurrentRecordSnapshotMerge hammers Record, Snapshot and Merge
+// concurrently; run under -race this verifies the histogram's locking
+// discipline, and afterwards no observation may be lost.
+func TestConcurrentRecordSnapshotMerge(t *testing.T) {
+	main := New()
+	side := New()
+	var wg sync.WaitGroup
+	const writers = 4
+	const per = 5000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				main.Record(int64(w*per + i + 1))
+				if i%8 == 0 {
+					side.Record(int64(i + 1))
+				}
+			}
+		}(w)
+	}
+	// Concurrent snapshotters: counts must be consistent (sum of buckets ==
+	// count) in every observed snapshot.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := main.Snapshot()
+				var inBuckets int64
+				for _, c := range s.state.buckets {
+					inBuckets += c
+				}
+				if inBuckets != s.Count() {
+					t.Errorf("torn snapshot: buckets sum %d, count %d", inBuckets, s.Count())
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent merger pulling side into main while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			main.Merge(side)
+		}
+	}()
+	wg.Wait()
+	if got := main.Snapshot().Count(); got < writers*per {
+		t.Fatalf("lost observations: %d < %d", got, writers*per)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	h := New()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	prev := h.Snapshot()
+	for i := int64(100_001); i <= 101_000; i++ {
+		h.Record(i)
+	}
+	delta := h.Snapshot().Sub(prev)
+	if delta.Count() != 1000 {
+		t.Fatalf("delta count = %d, want 1000", delta.Count())
+	}
+	if m := delta.Mean(); math.Abs(m-100_500.5) > 1 {
+		t.Fatalf("delta mean = %v, want ~100500.5", m)
+	}
+	// Percentiles of the delta must reflect only the second batch.
+	if p50 := delta.Percentile(50); p50 < 100_000 {
+		t.Fatalf("delta p50 = %d, want >= 100000 (first batch leaked in)", p50)
+	}
+	// Min/Max are bucket approximations but must bracket the second batch.
+	if delta.Min() < 100_001-2048 || delta.Max() > 102_000 {
+		t.Fatalf("delta min/max = %d/%d out of range", delta.Min(), delta.Max())
+	}
+}
+
+func TestSnapshotSubEmptyAndIdentity(t *testing.T) {
+	h := New()
+	h.Record(7)
+	s := h.Snapshot()
+	if d := s.Sub(s); d.Count() != 0 || d.Min() != 0 || d.Percentile(95) != 0 {
+		t.Fatalf("identity delta not empty: %v", d)
+	}
+	if d := s.Sub(Snapshot{}); d.Count() != 1 || d.Percentile(50) != s.Percentile(50) {
+		t.Fatalf("delta from zero snapshot should equal original: %v", d)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"tpcxiot/internal/memtable"
 	"tpcxiot/internal/sstable"
+	"tpcxiot/internal/telemetry"
 	"tpcxiot/internal/wal"
 )
 
@@ -68,6 +69,13 @@ type Options struct {
 	// DisableAutoFlush turns off size-triggered flushes; Flush must be
 	// called explicitly. Used by tests to control timing.
 	DisableAutoFlush bool
+	// Registry, when non-nil, receives engine telemetry: the counters
+	// "lsm.flushes", "lsm.compactions", "lsm.stalls" and
+	// "wal.truncate_errors", the gauge "lsm.memtable_bytes", and the
+	// put-path stage histograms "put.memstore" and "put.region_flush". The
+	// registry is also handed to the store's WAL. A nil registry keeps the
+	// hot paths free of clock reads.
+	Registry *telemetry.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -96,6 +104,11 @@ const (
 	tagTombstone = 0
 )
 
+// tmpSuffix marks in-progress table files. Flush and compaction write to
+// the temporary name and rename once the table is complete and synced, so
+// a crash mid-write can never leave a partial .sst visible to recovery.
+const tmpSuffix = ".tmp"
+
 // Store is a single LSM tree. Safe for concurrent use.
 type Store struct {
 	opts Options
@@ -116,13 +129,52 @@ type Store struct {
 
 	puts, deletes, gets, scans   atomic.Int64
 	flushes, compactions, stalls atomic.Int64
+
+	met storeMetrics
 }
 
-// tableHandle pairs a reader with its file path.
+// storeMetrics holds the registry-backed instruments, resolved once at
+// Open. Every field is nil-safe, so an uninstrumented store pays only
+// pointer tests.
+type storeMetrics struct {
+	flushes     *telemetry.Counter
+	compactions *telemetry.Counter
+	stalls      *telemetry.Counter
+	truncErrs   *telemetry.Counter
+	memSpan     *telemetry.Timer // put.memstore: WAL-ack to memtable-visible
+	flushSpan   *telemetry.Timer // put.region_flush: memtable to table file
+}
+
+// tableHandle pairs a reader with its file path. Handles are reference
+// counted: the table set holds one reference and every in-flight read
+// (get, scan, compaction merge) holds another, so a compaction retiring a
+// table never closes its reader under a concurrent reader.
 type tableHandle struct {
 	id     uint64
 	path   string
 	reader *sstable.Reader
+	refs   atomic.Int32
+	doomed atomic.Bool // delete the file once the last reference drops
+}
+
+func newTableHandle(id uint64, path string, reader *sstable.Reader) *tableHandle {
+	t := &tableHandle{id: id, path: path, reader: reader}
+	t.refs.Store(1) // the table set's reference
+	return t
+}
+
+func (t *tableHandle) acquire() { t.refs.Add(1) }
+
+// release drops one reference, closing the reader (and removing a doomed
+// file) when the last one goes.
+func (t *tableHandle) release() {
+	if t.refs.Add(-1) > 0 {
+		return
+	}
+	t.reader.Close()
+	if t.doomed.Load() {
+		os.Remove(t.path)
+	}
 }
 
 // Stats reports cumulative engine activity.
@@ -150,6 +202,15 @@ func Open(opts Options) (*Store, error) {
 	s.cache = sstable.NewBlockCache(o.BlockCacheBytes)
 	s.flushCond = sync.NewCond(&s.mu)
 	s.seedCount = 1
+	s.met = storeMetrics{
+		flushes:     o.Registry.Counter("lsm.flushes"),
+		compactions: o.Registry.Counter("lsm.compactions"),
+		stalls:      o.Registry.Counter("lsm.stalls"),
+		truncErrs:   o.Registry.Counter("wal.truncate_errors"),
+		memSpan:     o.Registry.Timer("put.memstore"),
+		flushSpan:   o.Registry.Timer("put.region_flush"),
+	}
+	o.Registry.Gauge("lsm.memtable_bytes", s.MemtableBytes)
 
 	if err := s.loadTables(); err != nil {
 		return nil, err
@@ -165,6 +226,7 @@ func Open(opts Options) (*Store, error) {
 		Dir:         filepath.Join(o.Dir, "wal"),
 		Sync:        o.WALSync,
 		MaxSegments: o.MaxWALSegments,
+		Registry:    o.Registry,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +246,12 @@ func (s *Store) loadTables() error {
 	var files []idPath
 	for _, e := range entries {
 		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// A table that was mid-write at crash time; the WAL still holds
+			// its contents.
+			os.Remove(filepath.Join(s.opts.Dir, name))
+			continue
+		}
 		if !strings.HasSuffix(name, ".sst") {
 			continue
 		}
@@ -200,7 +268,7 @@ func (s *Store) loadTables() error {
 		if err != nil {
 			return fmt.Errorf("%w: table %s: %v", ErrCorrupt, f.path, err)
 		}
-		s.tables = append(s.tables, &tableHandle{id: f.id, path: f.path, reader: r})
+		s.tables = append(s.tables, newTableHandle(f.id, f.path, r))
 		if f.id >= s.nextID {
 			s.nextID = f.id + 1
 		}
@@ -263,6 +331,7 @@ func (s *Store) mutate(op byte, key, value []byte) error {
 	// like hbase.hstore.blockingStoreFiles.
 	for len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
 		s.stalls.Add(1)
+		s.met.stalls.Inc()
 		s.startMaintenanceLocked()
 		s.flushCond.Wait()
 	}
@@ -288,6 +357,7 @@ func (s *Store) mutate(op byte, key, value []byte) error {
 		}
 	}
 
+	memSp := s.met.memSpan.Start()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -301,6 +371,7 @@ func (s *Store) mutate(op byte, key, value []byte) error {
 		s.active.Put(key, []byte{tagTombstone})
 		s.deletes.Add(1)
 	}
+	memSp.End()
 	shouldFlush := !s.opts.DisableAutoFlush &&
 		s.active.Size() >= s.opts.MemtableSize && s.imm == nil
 	if shouldFlush {
@@ -373,13 +444,20 @@ func (s *Store) Flush() error {
 
 // flushMemtable writes imm to a new table file and installs it.
 func (s *Store) flushMemtable(imm *memtable.Memtable) error {
+	sp := s.met.flushSpan.Start()
+	err := s.doFlushMemtable(imm)
+	sp.End()
+	return err
+}
+
+func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
 	s.mu.Unlock()
 
 	path := filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
-	w, err := sstable.NewWriter(path, sstable.WriterOptions{
+	w, err := sstable.NewWriter(path+tmpSuffix, sstable.WriterOptions{
 		BlockSize:       s.opts.BlockSize,
 		BloomBitsPerKey: s.opts.BloomBitsPerKey,
 	})
@@ -405,19 +483,27 @@ func (s *Store) flushMemtable(imm *memtable.Memtable) error {
 		}
 		return err
 	}
+	if err := os.Rename(path+tmpSuffix, path); err != nil {
+		return fmt.Errorf("lsm: install table: %w", err)
+	}
 	r, err := sstable.OpenWithCache(path, s.cache)
 	if err != nil {
 		return err
 	}
 
 	s.mu.Lock()
-	s.tables = append([]*tableHandle{{id: id, path: path, reader: r}}, s.tables...)
+	s.tables = append([]*tableHandle{newTableHandle(id, path, r)}, s.tables...)
 	s.imm = nil
 	s.flushes.Add(1)
+	s.met.flushes.Inc()
 	s.flushCond.Broadcast()
 	s.mu.Unlock()
 
-	s.truncateWALIfQuiescent()
+	if err := s.truncateWALIfQuiescent(); err != nil {
+		// The flush itself succeeded — the table is installed — but leaked
+		// WAL segments consume the segment budget, so the caller must know.
+		return fmt.Errorf("lsm: wal truncate after flush: %w", err)
+	}
 	return nil
 }
 
@@ -425,7 +511,7 @@ func (s *Store) flushMemtable(imm *memtable.Memtable) error {
 // no unflushed data at all (active memtable empty and no immutable table).
 // This conservative rule is always safe: if any unflushed record existed it
 // would be lost by truncation, so we only truncate when none exists.
-func (s *Store) truncateWALIfQuiescent() {
+func (s *Store) truncateWALIfQuiescent() error {
 	s.mu.Lock()
 	quiescent := s.imm == nil && s.active.Len() == 0 && !s.closed
 	var log *wal.Log
@@ -435,9 +521,14 @@ func (s *Store) truncateWALIfQuiescent() {
 		upTo = s.log.ActiveSegment()
 	}
 	s.mu.Unlock()
-	if log != nil {
-		_ = log.Truncate(upTo) // best effort; old segments are merely garbage
+	if log == nil {
+		return nil
 	}
+	if err := log.Truncate(upTo); err != nil {
+		s.met.truncErrs.Inc()
+		return err
+	}
+	return nil
 }
 
 // compact merges every table file into one, dropping shadowed versions and
@@ -449,12 +540,20 @@ func (s *Store) compact() error {
 		return nil
 	}
 	old := append([]*tableHandle(nil), s.tables...)
+	for _, t := range old {
+		t.acquire() // hold for the merge read
+	}
 	id := s.nextID
 	s.nextID++
 	s.mu.Unlock()
+	defer func() {
+		for _, t := range old {
+			t.release()
+		}
+	}()
 
 	path := filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
-	w, err := sstable.NewWriter(path, sstable.WriterOptions{
+	w, err := sstable.NewWriter(path+tmpSuffix, sstable.WriterOptions{
 		BlockSize:       s.opts.BlockSize,
 		BloomBitsPerKey: s.opts.BloomBitsPerKey,
 	})
@@ -494,11 +593,14 @@ func (s *Store) compact() error {
 		if err := w.Finish(); err != nil {
 			return err
 		}
+		if err := os.Rename(path+tmpSuffix, path); err != nil {
+			return fmt.Errorf("lsm: install table: %w", err)
+		}
 		r, err := sstable.OpenWithCache(path, s.cache)
 		if err != nil {
 			return err
 		}
-		newTables = []*tableHandle{{id: id, path: path, reader: r}}
+		newTables = []*tableHandle{newTableHandle(id, path, r)}
 	}
 
 	s.mu.Lock()
@@ -506,12 +608,15 @@ func (s *Store) compact() error {
 	fresh := s.tables[:len(s.tables)-len(old)]
 	s.tables = append(append([]*tableHandle(nil), fresh...), newTables...)
 	s.compactions.Add(1)
+	s.met.compactions.Inc()
 	s.flushCond.Broadcast()
 	s.mu.Unlock()
 
+	// Retire the inputs: drop the table set's reference. The reader closes
+	// and the file is removed once the last concurrent scan releases it.
 	for _, t := range old {
-		t.reader.Close()
-		os.Remove(t.path)
+		t.doomed.Store(true)
+		t.release()
 	}
 	return nil
 }
@@ -535,7 +640,15 @@ func (s *Store) Get(key []byte) (value []byte, ok bool, err error) {
 	}
 	active, imm := s.active, s.imm
 	tables := append([]*tableHandle(nil), s.tables...)
+	for _, t := range tables {
+		t.acquire()
+	}
 	s.mu.RUnlock()
+	defer func() {
+		for _, t := range tables {
+			t.release()
+		}
+	}()
 	s.gets.Add(1)
 
 	if v, found := active.Get(key); found {
@@ -595,12 +708,19 @@ func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
 		iit.Seek(lo)
 		sources = append(sources, memIter{iit})
 	}
-	for _, t := range s.tables {
+	held := append([]*tableHandle(nil), s.tables...)
+	for _, t := range held {
+		t.acquire()
 		it := t.reader.NewIterator()
 		it.Seek(lo)
 		sources = append(sources, it)
 	}
 	s.mu.RUnlock()
+	defer func() {
+		for _, t := range held {
+			t.release()
+		}
+	}()
 	s.scans.Add(1)
 
 	merged := newMergeIterator(sources)
@@ -667,16 +787,11 @@ func (s *Store) Close() error {
 	log := s.log
 	s.mu.Unlock()
 
-	var firstErr error
-	if err := log.Close(); err != nil {
-		firstErr = err
-	}
+	err := log.Close()
 	for _, t := range tables {
-		if err := t.reader.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		t.release()
 	}
-	return firstErr
+	return err
 }
 
 // Destroy closes the store and removes all files. For benchmark cleanup

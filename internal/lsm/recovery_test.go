@@ -11,9 +11,14 @@ import (
 
 // crashStore simulates a crash: sync the WAL so the OS-level state is what
 // a power loss after the last acknowledged write would leave, then abandon
-// the store without flushing memtables or closing cleanly.
+// the store without flushing memtables or closing cleanly. A real crash
+// also kills background flush/compaction goroutines; in-process they would
+// keep mutating the directory under the reopened store, so quiesce them
+// first — any maintenance pass is then a completed (valid) crash point.
 func crashStore(t *testing.T, s *Store) {
 	t.Helper()
+	s.maintMu.Lock()
+	s.maintMu.Unlock()
 	if err := s.log.Sync(); err != nil {
 		t.Fatal(err)
 	}

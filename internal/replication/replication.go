@@ -13,6 +13,8 @@ package replication
 import (
 	"errors"
 	"fmt"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // DefaultFactor is the replication factor TPCx-IoT requires.
@@ -36,6 +38,7 @@ type Applier interface {
 // reader served by any member after the ack sees the write.
 type Group struct {
 	members []Applier
+	acks    *telemetry.Counter
 }
 
 // NewGroup builds a pipeline whose first member is the primary. The number
@@ -50,6 +53,10 @@ func NewGroup(primary Applier, replicas ...Applier) *Group {
 // Factor returns the group's replication factor (pipeline length).
 func (g *Group) Factor() int { return len(g.members) }
 
+// Instrument makes the group count member acknowledgements on acks (one per
+// member per successful write). A nil counter leaves the group uninstrumented.
+func (g *Group) Instrument(acks *telemetry.Counter) { g.acks = acks }
+
 // Put applies the write to every member, failing on the first error.
 func (g *Group) Put(key, value []byte) error {
 	for i, m := range g.members {
@@ -57,6 +64,7 @@ func (g *Group) Put(key, value []byte) error {
 			return fmt.Errorf("replication: member %d: %w", i, err)
 		}
 	}
+	g.acks.Add(int64(len(g.members)))
 	return nil
 }
 
@@ -67,6 +75,7 @@ func (g *Group) Delete(key []byte) error {
 			return fmt.Errorf("replication: member %d: %w", i, err)
 		}
 	}
+	g.acks.Add(int64(len(g.members)))
 	return nil
 }
 

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// histJSON is the wire shape of one histogram on the /metrics endpoint.
+type histJSON struct {
+	Count int64   `json:"count"`
+	Min   int64   `json:"min_ns"`
+	Mean  float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P95   int64   `json:"p95_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"max_ns"`
+	CV    float64 `json:"cv"`
+}
+
+// metricsJSON is the /metrics document: expvar-style cumulative state.
+type metricsJSON struct {
+	Timestamp  time.Time           `json:"timestamp"`
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+// Handler serves the registry's live state as a JSON document, expvar-style:
+// cumulative counters, instantaneous gauges, and per-histogram latency
+// summaries. Map keys are emitted in sorted order by encoding/json, so the
+// document is deterministic for a given state.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := metricsJSON{
+			Timestamp:  time.Now(),
+			Counters:   make(map[string]int64),
+			Gauges:     make(map[string]int64),
+			Histograms: make(map[string]histJSON),
+		}
+		for _, c := range r.Counters() {
+			doc.Counters[c.Name] = c.Value
+		}
+		for _, g := range r.Gauges() {
+			doc.Gauges[g.Name] = g.Value
+		}
+		for _, h := range r.Histograms() {
+			doc.Histograms[h.Name] = histJSON{
+				Count: h.Snap.Count(),
+				Min:   h.Snap.Min(),
+				Mean:  h.Snap.Mean(),
+				P50:   h.Snap.Percentile(50),
+				P95:   h.Snap.Percentile(95),
+				P99:   h.Snap.Percentile(99),
+				Max:   h.Snap.Max(),
+				CV:    h.Snap.CV(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}
+
+// NewServeMux mounts the observability surface: /metrics (the registry
+// JSON) and the standard net/http/pprof profiling endpoints under
+// /debug/pprof/.
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability HTTP server on addr (e.g. ":9090" or
+// "127.0.0.1:0") in a background goroutine and returns the server and the
+// bound address. The caller owns shutdown via srv.Close.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewServeMux(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,245 @@
+// Package telemetry is the kit's observability subsystem: cheap atomic
+// counters and gauges collected in a Registry, latency histograms for
+// operation kinds and pipeline stages, a lightweight span API for tracing
+// the put and query paths, a Ticker that turns cumulative state into a
+// per-interval time series, and an expvar-style HTTP surface.
+//
+// The paper's evaluation is time-resolved — throughput-over-time curves and
+// latency distributions with coefficients of variation (Figure 14) — so the
+// benchmark needs continuous client-side and server-side measurement, not
+// just end-of-run aggregates. Everything here is standard library only and
+// global-free: a Registry is created per run and threaded through the
+// stack's Options structs.
+//
+// Every entry point is nil-safe. A nil *Registry hands out nil *Counter and
+// *Timer values whose methods do nothing and, crucially, never read the
+// clock — so a run with telemetry disabled pays only a pointer test on the
+// hot paths.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tpcxiot/internal/histogram"
+)
+
+// Counter is a cumulative atomic counter. The zero value is ready to use;
+// a nil *Counter is a no-op sink, so instrumented code never branches on
+// whether telemetry is enabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value; 0 on a nil receiver.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Value is one named scalar in a snapshot.
+type Value struct {
+	Name  string
+	Value int64
+}
+
+// NamedSnapshot pairs a histogram name with its statistics.
+type NamedSnapshot struct {
+	Name string
+	Snap histogram.Snapshot
+}
+
+// Registry holds a run's named counters, gauges and histograms. Safe for
+// concurrent use. Registration is idempotent: asking for the same name
+// twice returns the same instrument, so every LSM store in a cluster
+// incrementing "lsm.flushes" feeds one cluster-wide counter.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string][]func() int64
+	hists    map[string]*histogram.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string][]func() int64),
+		hists:    make(map[string]*histogram.Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a read-on-snapshot gauge. Multiple registrations under
+// one name sum their readings — each LSM store registers its own
+// "lsm.memtable_bytes" function and the snapshot reports the total. No-op
+// on a nil registry.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = append(r.gauges[name], fn)
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns nil; prefer Timer for nil-safe duration recording.
+func (r *Registry) Histogram(name string) *histogram.Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = histogram.New()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters snapshots every counter, sorted by name.
+func (r *Registry) Counters() []Value {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Value, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, Value{Name: name, Value: c.Load()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gauges reads every gauge, sorted by name. Gauge functions run outside the
+// registry lock so they may take their own locks freely.
+func (r *Registry) Gauges() []Value {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type entry struct {
+		name string
+		fns  []func() int64
+	}
+	entries := make([]entry, 0, len(r.gauges))
+	for name, fns := range r.gauges {
+		entries = append(entries, entry{name, append([]func() int64(nil), fns...)})
+	}
+	r.mu.Unlock()
+
+	out := make([]Value, 0, len(entries))
+	for _, e := range entries {
+		var sum int64
+		for _, fn := range e.fns {
+			sum += fn()
+		}
+		out = append(out, Value{Name: e.name, Value: sum})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histograms snapshots every histogram, sorted by name.
+func (r *Registry) Histograms() []NamedSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type entry struct {
+		name string
+		h    *histogram.Histogram
+	}
+	entries := make([]entry, 0, len(r.hists))
+	for name, h := range r.hists {
+		entries = append(entries, entry{name, h})
+	}
+	r.mu.Unlock()
+
+	out := make([]NamedSnapshot, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, NamedSnapshot{Name: e.name, Snap: e.h.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Summary is a complete point-in-time view of a registry, attached to the
+// benchmark result so reports can render engine counters and per-stage
+// latency breakdowns.
+type Summary struct {
+	// Counters and Gauges are scalar readings, sorted by name.
+	Counters, Gauges []Value
+	// Histograms holds every latency distribution (operation kinds, put-path
+	// stages, query templates), sorted by name.
+	Histograms []NamedSnapshot
+}
+
+// Summary captures the registry's current state; nil on a nil registry.
+func (r *Registry) Summary() *Summary {
+	if r == nil {
+		return nil
+	}
+	return &Summary{
+		Counters:   r.Counters(),
+		Gauges:     r.Gauges(),
+		Histograms: r.Histograms(),
+	}
+}
+
+// Histogram returns the named snapshot and whether it exists.
+func (s *Summary) Histogram(name string) (histogram.Snapshot, bool) {
+	if s == nil {
+		return histogram.Snapshot{}, false
+	}
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h.Snap, true
+		}
+	}
+	return histogram.Snapshot{}, false
+}
+
+// Counter returns the named counter value, or 0 when absent.
+func (s *Summary) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}

@@ -18,6 +18,7 @@ import (
 	"tpcxiot/internal/gen"
 	"tpcxiot/internal/kvp"
 	"tpcxiot/internal/sensors"
+	"tpcxiot/internal/telemetry"
 	"tpcxiot/internal/ycsb"
 )
 
@@ -245,18 +246,23 @@ type InstanceConfig struct {
 	// DisableQueries turns off query injection (pure-ingest experiments
 	// such as Figure 8's generation-speed measurement).
 	DisableQueries bool
+	// Registry, when non-nil, times each dashboard query template in the
+	// histograms "query.max-reading", "query.min-reading",
+	// "query.average-reading" and "query.reading-count".
+	Registry *telemetry.Registry
 }
 
 // Instance is one TPCx-IoT driver instance: a ycsb.Workload that generates
 // the substation's sensor readings and interleaved dashboard queries.
 type Instance struct {
-	cfg      InstanceConfig
-	catalog  []sensors.Sensor
-	clock    func() time.Time
-	inserted atomic.Int64
-	queries  atomic.Int64
-	aggRows  atomic.Int64
-	histRows atomic.Int64
+	cfg         InstanceConfig
+	catalog     []sensors.Sensor
+	clock       func() time.Time
+	queryTimers [queryKinds]*telemetry.Timer
+	inserted    atomic.Int64
+	queries     atomic.Int64
+	aggRows     atomic.Int64
+	histRows    atomic.Int64
 }
 
 // NewInstance validates the configuration and builds the driver instance.
@@ -277,7 +283,11 @@ func NewInstance(cfg InstanceConfig) (*Instance, error) {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Instance{cfg: cfg, catalog: sensors.Catalogue(), clock: clock}, nil
+	in := &Instance{cfg: cfg, catalog: sensors.Catalogue(), clock: clock}
+	for q := QueryKind(0); q < queryKinds; q++ {
+		in.queryTimers[q] = cfg.Registry.Timer("query." + q.String())
+	}
+	return in, nil
 }
 
 // Stats snapshots the instance's progress counters.
@@ -402,7 +412,9 @@ func (t *instanceThread) runQuery(db ycsb.DB) error {
 	offset := t.rng.Int63n(span) + RecentWindow.Milliseconds()
 	histStart := now.Add(-time.Duration(offset) * time.Millisecond)
 
+	sp := t.inst.queryTimers[kind].Start()
 	res, err := RunQuery(db, kind, t.inst.cfg.Substation, s.Key, now, histStart)
+	sp.End()
 	if err != nil {
 		return err
 	}

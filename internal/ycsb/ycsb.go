@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tpcxiot/internal/histogram"
+	"tpcxiot/internal/telemetry"
 )
 
 // KV is one row returned by a scan.
@@ -100,6 +101,11 @@ type RunConfig struct {
 	// Status receives the periodic snapshots; ignored when StatusInterval
 	// is zero. Called from a dedicated goroutine.
 	Status func(Status)
+	// Registry, when non-nil, additionally receives every operation latency
+	// in the shared histograms "op.INSERT", "op.READ", "op.SCAN" and
+	// "op.QUERY". The run's own Report is unaffected; the registry gives a
+	// telemetry Ticker a cluster-wide cross-instance view.
+	Registry *telemetry.Registry
 }
 
 // Status is one periodic progress snapshot of a running workload.
@@ -175,8 +181,12 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 	}
 
 	hists := make([]*histogram.Histogram, opKinds)
+	shared := make([]*histogram.Histogram, opKinds)
 	for i := range hists {
 		hists[i] = histogram.New()
+		if cfg.Registry != nil {
+			shared[i] = cfg.Registry.Histogram("op." + OpKind(i).String())
+		}
 	}
 	var opCounts [opKinds]atomic.Int64
 
@@ -265,7 +275,11 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 					mu.Unlock()
 					return
 				}
-				hists[kind].Record(time.Since(opStart).Nanoseconds())
+				lat := time.Since(opStart).Nanoseconds()
+				hists[kind].Record(lat)
+				if shared[kind] != nil {
+					shared[kind].Record(lat)
+				}
 				opCounts[kind].Add(1)
 				opsDone++
 
