@@ -1,0 +1,101 @@
+// Ingest-path microbenchmark for the batched write path (PR 2): the REAL
+// cluster engine driven through the client write buffer, swept across
+// client batch sizes and WAL sync policies. Unlike the figure benchmarks
+// this measures wall-clock engine throughput, not virtual-time metrics.
+// Results are captured in results/BENCH_PR2.json and discussed in
+// EXPERIMENTS.md.
+package tpcxiot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/telemetry"
+	"tpcxiot/internal/wal"
+)
+
+// BenchmarkClusterIngest sweeps client batch size {1, 16, 64, 256} against
+// the three WAL sync policies on a 3-node, 3-way-replicated single-region
+// table with 1 KiB values (the TPCx-IoT record size). Batch size is set
+// through the client write buffer — exactly how a YCSB driver thread would
+// configure hbase.client.write.buffer — so batch=1 is the per-record path
+// and larger batches exercise the whole batched pipeline: one RPC, one
+// bounds-check pass, parallel replica fan-out, one WAL group append (and
+// under sync=append, one fsync) per replica per batch.
+//
+// Reported metrics beyond ns/op:
+//
+//	rows/s       end-to-end ingest rate (1 row = one 1 KiB kvp)
+//	fsyncs/batch wal.syncs / lsm.batch_applies across all replicas — ~1
+//	             under sync=append confirms group commit, ~0 otherwise
+func BenchmarkClusterIngest(b *testing.B) {
+	value := bytes.Repeat([]byte("x"), 1024)
+	const keyLen = 15 // len("row############")
+	rowBytes := int64(keyLen) + int64(len(value))
+
+	syncModes := []struct {
+		name string
+		mode wal.SyncPolicy
+	}{
+		{"append", wal.SyncOnAppend},
+		{"rotate", wal.SyncOnRotate},
+		{"never", wal.SyncNever},
+	}
+	for _, sm := range syncModes {
+		for _, batch := range []int{1, 16, 64, 256} {
+			b.Run(fmt.Sprintf("sync=%s/batch=%d", sm.name, batch), func(b *testing.B) {
+				dir, err := os.MkdirTemp("", "tpcxiot-ingest-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				reg := telemetry.NewRegistry()
+				cluster, err := hbase.NewCluster(hbase.Config{
+					Nodes:    3,
+					DataDir:  dir,
+					Store:    lsm.Options{WALSync: sm.mode, MemtableSize: 64 << 20},
+					Registry: reg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cluster.Close()
+				if _, err := cluster.CreateTable("ingest", nil); err != nil {
+					b.Fatal(err)
+				}
+				// The write buffer holds exactly `batch` rows, so every
+				// autoflush ships a batch of that size.
+				client, err := cluster.NewClient("ingest", int64(batch)*rowBytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+
+				b.SetBytes(rowBytes)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					key := fmt.Sprintf("row%012d", i)
+					if err := client.Put([]byte(key), value); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := client.FlushCommits(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+
+				syncs := reg.Counter("wal.syncs").Load()
+				batches := reg.Counter("lsm.batch_applies").Load()
+				if batches > 0 {
+					b.ReportMetric(float64(syncs)/float64(batches), "fsyncs/batch")
+				}
+				if el := b.Elapsed().Seconds(); el > 0 {
+					b.ReportMetric(float64(b.N)/el, "rows/s")
+				}
+			})
+		}
+	}
+}

@@ -117,5 +117,20 @@ func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
 			fmt.Fprintf(b, "    %-24s %d\n", c.Name, c.Value)
 		}
 	}
+	if batches := counterValue(t, "lsm.batch_applies"); batches > 0 {
+		fmt.Fprintf(b, "  write batching: %.1f writes/batch, %.2f fsyncs/batch\n",
+			float64(counterValue(t, "wal.appends"))/float64(batches),
+			float64(counterValue(t, "wal.syncs"))/float64(batches))
+	}
 	fmt.Fprintf(b, "\n")
+}
+
+// counterValue looks up one counter in the summary (0 when absent).
+func counterValue(t *telemetry.Summary, name string) int64 {
+	for _, c := range t.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
 }

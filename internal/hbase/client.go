@@ -92,6 +92,9 @@ func (c *Client) buffer(m Mutation) error {
 }
 
 // FlushCommits ships all buffered mutations, one batched RPC per region.
+// On a mid-flush failure the already-shipped regions stay flushed and the
+// failed region's batch stays buffered, with BufferedBytes reflecting
+// exactly what remains — a later FlushCommits retries just the remainder.
 func (c *Client) FlushCommits() error {
 	if c.closed {
 		return ErrClientClosed
@@ -99,17 +102,28 @@ func (c *Client) FlushCommits() error {
 	sp := c.flushSpan.Start()
 	for tr, batch := range c.buffers {
 		if len(batch) == 0 {
+			delete(c.buffers, tr)
 			continue
 		}
 		if err := c.rpc.mutate(tr, batch); err != nil {
 			return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
 		}
+		c.buffered -= mutationBytes(batch)
 		delete(c.buffers, tr)
 	}
-	c.buffered = 0
 	sp.End()
 	c.flushesC.Inc()
 	return nil
+}
+
+// mutationBytes is the buffer accounting for a batch: the same per-mutation
+// size buffer() adds.
+func mutationBytes(batch []Mutation) int64 {
+	var n int64
+	for i := range batch {
+		n += int64(len(batch[i].Key) + len(batch[i].Value))
+	}
+	return n
 }
 
 // BufferedBytes reports the current client-side buffer occupancy.

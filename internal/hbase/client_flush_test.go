@@ -1,0 +1,115 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// failingTransport fails mutate RPCs for one region; everything else passes
+// through to the in-process transport.
+type failingTransport struct {
+	inprocTransport
+	failRegion string
+	err        error
+}
+
+func (f *failingTransport) mutate(tr *tableRegion, batch []Mutation) error {
+	if tr.info.Name == f.failRegion {
+		return f.err
+	}
+	return f.inprocTransport.mutate(tr, batch)
+}
+
+// TestFlushCommitsPartialFailureAccounting: a mid-flush RPC failure must
+// leave BufferedBytes equal to exactly the bytes still buffered — regions
+// flushed before the failure no longer count — so the autoflush threshold
+// and a later retry behave correctly.
+func TestFlushCommitsPartialFailureAccounting(t *testing.T) {
+	cl, _ := newTestCluster(t, 3, [][]byte{[]byte("m")})
+	c, err := cl.NewClient("iot", 1<<30) // no autoflush
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cl.Table("iot")
+	sentinel := errors.New("region server unreachable")
+	failing := &failingTransport{failRegion: tbl.RegionFor([]byte("a")), err: sentinel}
+	c.rpc = failing
+
+	// Buffer writes to both regions.
+	for i := 0; i < 8; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("a%03d", i)), []byte("low")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put([]byte(fmt.Sprintf("z%03d", i)), []byte("high")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.BufferedBytes()
+	if before == 0 {
+		t.Fatal("writes were not buffered")
+	}
+
+	if err := c.FlushCommits(); !errors.Is(err, sentinel) {
+		t.Fatalf("flush with one region down: %v", err)
+	}
+	// Invariant: the accounting matches the surviving buffers exactly,
+	// whether or not the healthy region flushed before the failure hit.
+	var remaining int64
+	for _, batch := range c.buffers {
+		remaining += mutationBytes(batch)
+	}
+	if got := c.BufferedBytes(); got != remaining {
+		t.Fatalf("BufferedBytes = %d, buffers hold %d", got, remaining)
+	}
+	if remaining == 0 || remaining > before {
+		t.Fatalf("remaining = %d of %d: failed region's batch must stay buffered", remaining, before)
+	}
+
+	// Heal the transport: the retry flushes the remainder and zeroes the
+	// accounting.
+	c.rpc = inprocTransport{}
+	if err := c.FlushCommits(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BufferedBytes(); got != 0 {
+		t.Fatalf("BufferedBytes = %d after successful retry, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		for _, k := range []string{fmt.Sprintf("a%03d", i), fmt.Sprintf("z%03d", i)} {
+			if _, ok, err := c.Get([]byte(k)); err != nil || !ok {
+				t.Fatalf("key %q lost across failed flush + retry: ok=%v err=%v", k, ok, err)
+			}
+		}
+	}
+}
+
+// TestMutateBatchSingleEngineRound: one client flush of N buffered writes to
+// one region must reach the engine as one batch apply per replica (not N),
+// with replication acks counted per member per write.
+func TestMutateBatchSingleEngineRound(t *testing.T) {
+	cl, _ := newTestCluster(t, 3, nil)
+	c, err := cl.NewClient("iot", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushCommits(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cl.Table("iot")
+	for i, rep := range tbl.regions[0].replicas {
+		st := rep.Store().Stats()
+		if st.BatchApplies != 1 {
+			t.Fatalf("replica %d applied %d rounds for one flush, want 1", i, st.BatchApplies)
+		}
+		if st.Puts != n {
+			t.Fatalf("replica %d holds %d puts, want %d", i, st.Puts, n)
+		}
+	}
+}

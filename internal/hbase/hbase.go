@@ -197,7 +197,10 @@ func (cl *Cluster) CreateTable(name string, splits [][]byte) (*Table, error) {
 				return nil, err
 			}
 			tr.replicas = append(tr.replicas, r)
-			appliers = append(appliers, r.Store())
+			// The region (not its bare store) is the pipeline member, so
+			// every replica bounds-checks what it applies — one pass per
+			// batch on the batched path.
+			appliers = append(appliers, r)
 		}
 		tr.group = replication.NewGroup(appliers[0], appliers[1:]...)
 		tr.group.Instrument(cl.cfg.Registry.Counter("replication.acks"))

@@ -69,32 +69,23 @@ func (s *RegionServer) forgetRegion(name string) {
 	s.mu.Unlock()
 }
 
-// Mutation is one write in a batched RPC.
-type Mutation struct {
-	Key    []byte
-	Value  []byte
-	Delete bool
-}
+// Mutation is one write in a batched RPC. It is an alias for the engine's
+// batch element, so a client batch flows through replication into the LSM
+// stores without per-layer conversion or copying.
+type Mutation = lsm.Write
 
 // mutate is the server-side write RPC: the whole batch executes under one
-// handler slot and each mutation flows through the region's replication
-// pipeline before the next is applied.
+// handler slot and ships through the region's replication group as a single
+// batched round — one WAL group append and one memtable critical section
+// per replica, with the replica fan-out running in parallel.
 func (s *RegionServer) mutate(g *replication.Group, batch []Mutation) error {
 	s.acquire()
 	defer s.release()
 	s.requests.Add(1)
-	for _, m := range batch {
-		var err error
-		if m.Delete {
-			err = g.Delete(m.Key)
-		} else {
-			err = g.Put(m.Key, m.Value)
-		}
-		if err != nil {
-			return err
-		}
-		s.mutations.Add(1)
+	if err := g.ApplyBatch(batch); err != nil {
+		return err
 	}
+	s.mutations.Add(int64(len(batch)))
 	return nil
 }
 

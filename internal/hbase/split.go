@@ -83,8 +83,8 @@ func (cl *Cluster) SplitRegion(table string, splitKey []byte) error {
 	for _, p := range pairs {
 		leftTR.replicas = append(leftTR.replicas, p.left)
 		rightTR.replicas = append(rightTR.replicas, p.right)
-		leftAppliers = append(leftAppliers, p.left.Store())
-		rightAppliers = append(rightAppliers, p.right.Store())
+		leftAppliers = append(leftAppliers, p.left)
+		rightAppliers = append(rightAppliers, p.right)
 	}
 	leftTR.group = replication.NewGroup(leftAppliers[0], leftAppliers[1:]...)
 	rightTR.group = replication.NewGroup(rightAppliers[0], rightAppliers[1:]...)

@@ -70,8 +70,8 @@ type Options struct {
 	// called explicitly. Used by tests to control timing.
 	DisableAutoFlush bool
 	// Registry, when non-nil, receives engine telemetry: the counters
-	// "lsm.flushes", "lsm.compactions", "lsm.stalls" and
-	// "wal.truncate_errors", the gauge "lsm.memtable_bytes", and the
+	// "lsm.flushes", "lsm.compactions", "lsm.stalls", "lsm.batch_applies"
+	// and "wal.truncate_errors", the gauge "lsm.memtable_bytes", and the
 	// put-path stage histograms "put.memstore" and "put.region_flush". The
 	// registry is also handed to the store's WAL. A nil registry keeps the
 	// hot paths free of clock reads.
@@ -127,8 +127,11 @@ type Store struct {
 	maintMu   sync.Mutex // serialises flush/compaction work
 	seedCount uint64
 
+	encPool sync.Pool // *encodeBuf; scratch space for batch record encoding
+
 	puts, deletes, gets, scans   atomic.Int64
 	flushes, compactions, stalls atomic.Int64
+	batchApplies                 atomic.Int64
 
 	met storeMetrics
 }
@@ -137,12 +140,13 @@ type Store struct {
 // Open. Every field is nil-safe, so an uninstrumented store pays only
 // pointer tests.
 type storeMetrics struct {
-	flushes     *telemetry.Counter
-	compactions *telemetry.Counter
-	stalls      *telemetry.Counter
-	truncErrs   *telemetry.Counter
-	memSpan     *telemetry.Timer // put.memstore: WAL-ack to memtable-visible
-	flushSpan   *telemetry.Timer // put.region_flush: memtable to table file
+	flushes      *telemetry.Counter
+	compactions  *telemetry.Counter
+	stalls       *telemetry.Counter
+	truncErrs    *telemetry.Counter
+	batchApplies *telemetry.Counter
+	memSpan      *telemetry.Timer // put.memstore: WAL-ack to memtable-visible
+	flushSpan    *telemetry.Timer // put.region_flush: memtable to table file
 }
 
 // tableHandle pairs a reader with its file path. Handles are reference
@@ -179,13 +183,14 @@ func (t *tableHandle) release() {
 
 // Stats reports cumulative engine activity.
 type Stats struct {
-	Puts        int64
-	Deletes     int64
-	Gets        int64
-	Scans       int64
-	Flushes     int64
-	Compactions int64
-	StallEvents int64 // writes that blocked on MaxStoreFiles
+	Puts         int64
+	Deletes      int64
+	Gets         int64
+	Scans        int64
+	Flushes      int64
+	Compactions  int64
+	StallEvents  int64 // writes that blocked on MaxStoreFiles
+	BatchApplies int64 // apply rounds; (Puts+Deletes)/BatchApplies = mean batch size
 }
 
 // Open opens (creating or recovering) the store in opts.Dir.
@@ -202,13 +207,15 @@ func Open(opts Options) (*Store, error) {
 	s.cache = sstable.NewBlockCache(o.BlockCacheBytes)
 	s.flushCond = sync.NewCond(&s.mu)
 	s.seedCount = 1
+	s.encPool.New = func() any { return new(encodeBuf) }
 	s.met = storeMetrics{
-		flushes:     o.Registry.Counter("lsm.flushes"),
-		compactions: o.Registry.Counter("lsm.compactions"),
-		stalls:      o.Registry.Counter("lsm.stalls"),
-		truncErrs:   o.Registry.Counter("wal.truncate_errors"),
-		memSpan:     o.Registry.Timer("put.memstore"),
-		flushSpan:   o.Registry.Timer("put.region_flush"),
+		flushes:      o.Registry.Counter("lsm.flushes"),
+		compactions:  o.Registry.Counter("lsm.compactions"),
+		stalls:       o.Registry.Counter("lsm.stalls"),
+		truncErrs:    o.Registry.Counter("wal.truncate_errors"),
+		batchApplies: o.Registry.Counter("lsm.batch_applies"),
+		memSpan:      o.Registry.Timer("put.memstore"),
+		flushSpan:    o.Registry.Timer("put.region_flush"),
 	}
 	o.Registry.Gauge("lsm.memtable_bytes", s.MemtableBytes)
 
@@ -276,14 +283,46 @@ func (s *Store) loadTables() error {
 	return nil
 }
 
-// record encoding: op byte, uvarint key length, key, value.
-func encodeRecord(op byte, key, value []byte) []byte {
-	rec := make([]byte, 0, 1+binary.MaxVarintLen32+len(key)+len(value))
-	rec = append(rec, op)
-	rec = binary.AppendUvarint(rec, uint64(len(key)))
-	rec = append(rec, key...)
-	rec = append(rec, value...)
-	return rec
+// Record encoding: op byte, uvarint key length, key, value. Encoding lives
+// in encodeBuf.encode; applyRecord below is the decoder used by replay.
+//
+// encodeBuf is per-batch scratch space, pooled on the store so steady-state
+// ingest encodes WAL records and memtable values without fresh allocations.
+type encodeBuf struct {
+	arena []byte   // backing storage for every record in the batch
+	recs  [][]byte // slices into arena, one per write
+	val   []byte   // tagged-value scratch for memtable inserts
+}
+
+// encode lays the batch's WAL records out in the arena and returns one slice
+// per record. The arena is sized up front so it never reallocates mid-batch
+// (which would invalidate earlier record slices).
+func (b *encodeBuf) encode(writes []Write) [][]byte {
+	need := 0
+	for i := range writes {
+		need += 1 + binary.MaxVarintLen32 + len(writes[i].Key) + len(writes[i].Value)
+	}
+	if cap(b.arena) < need {
+		b.arena = make([]byte, 0, need)
+	}
+	b.arena = b.arena[:0]
+	b.recs = b.recs[:0]
+	for i := range writes {
+		w := &writes[i]
+		start := len(b.arena)
+		if w.Delete {
+			b.arena = append(b.arena, tagTombstone)
+			b.arena = binary.AppendUvarint(b.arena, uint64(len(w.Key)))
+			b.arena = append(b.arena, w.Key...)
+		} else {
+			b.arena = append(b.arena, tagValue)
+			b.arena = binary.AppendUvarint(b.arena, uint64(len(w.Key)))
+			b.arena = append(b.arena, w.Key...)
+			b.arena = append(b.arena, w.Value...)
+		}
+		b.recs = append(b.recs, b.arena[start:len(b.arena)])
+	}
+	return b.recs
 }
 
 func (s *Store) applyRecord(rec []byte) error {
@@ -308,19 +347,41 @@ func (s *Store) applyRecord(rec []byte) error {
 	return nil
 }
 
+// Write is one mutation in a batch: a put of Value under Key, or a
+// tombstone for Key when Delete is set (Value is then ignored).
+type Write struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
 // Put stores value under key, durably per the WAL policy.
 func (s *Store) Put(key, value []byte) error {
-	return s.mutate(tagValue, key, value)
+	return s.ApplyBatch([]Write{{Key: key, Value: value}})
 }
 
 // Delete removes key by writing a tombstone.
 func (s *Store) Delete(key []byte) error {
-	return s.mutate(tagTombstone, key, nil)
+	return s.ApplyBatch([]Write{{Key: key, Delete: true}})
 }
 
-func (s *Store) mutate(op byte, key, value []byte) error {
-	if len(key) == 0 {
-		return ErrBadKey
+// tombstoneValue is the stored form of a delete; memtable.Put copies it.
+var tombstoneValue = []byte{tagTombstone}
+
+// ApplyBatch applies the writes as one engine round: a single WAL append
+// covering every record (one fsync group under SyncOnAppend), then a single
+// memtable critical section with one flush/backpressure check for the whole
+// batch. Crash recovery replays the batch record-by-record, so a batch is
+// equivalent to — just much cheaper than — the same writes applied one at a
+// time. An empty batch is a no-op.
+func (s *Store) ApplyBatch(writes []Write) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	for i := range writes {
+		if len(writes[i].Key) == 0 {
+			return ErrBadKey
+		}
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -328,7 +389,7 @@ func (s *Store) mutate(op byte, key, value []byte) error {
 		return ErrClosed
 	}
 	// Backpressure: block while the store-file count is at the cap, exactly
-	// like hbase.hstore.blockingStoreFiles.
+	// like hbase.hstore.blockingStoreFiles. Checked once per batch.
 	for len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
 		s.stalls.Add(1)
 		s.met.stalls.Inc()
@@ -342,18 +403,22 @@ func (s *Store) mutate(op byte, key, value []byte) error {
 	log := s.log
 	s.mu.Unlock()
 
-	// WAL first. The log serialises appends internally.
-	if err := log.Append(encodeRecord(op, key, value)); err != nil {
-		if errors.Is(err, wal.ErrLogFull) {
-			// Force a flush so Truncate can reclaim segments, then retry once.
-			if ferr := s.Flush(); ferr != nil {
-				return fmt.Errorf("lsm: wal full and flush failed: %w", ferr)
-			}
-			if err = log.Append(encodeRecord(op, key, value)); err != nil {
-				return fmt.Errorf("lsm: wal append after flush: %w", err)
-			}
-		} else {
+	// WAL first. Records are encoded once into pooled scratch space and the
+	// whole batch goes down in one group append; the ErrLogFull retry reuses
+	// the already-encoded records.
+	eb := s.encPool.Get().(*encodeBuf)
+	defer s.encPool.Put(eb)
+	recs := eb.encode(writes)
+	if err := log.Append(recs...); err != nil {
+		if !errors.Is(err, wal.ErrLogFull) {
 			return fmt.Errorf("lsm: wal append: %w", err)
+		}
+		// Force a flush so Truncate can reclaim segments, then retry once.
+		if ferr := s.Flush(); ferr != nil {
+			return fmt.Errorf("lsm: wal full and flush failed: %w", ferr)
+		}
+		if err = log.Append(recs...); err != nil {
+			return fmt.Errorf("lsm: wal append after flush: %w", err)
 		}
 	}
 
@@ -363,15 +428,25 @@ func (s *Store) mutate(op byte, key, value []byte) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	switch op {
-	case tagValue:
-		s.active.Put(key, append([]byte{tagValue}, value...))
-		s.puts.Add(1)
-	case tagTombstone:
-		s.active.Put(key, []byte{tagTombstone})
-		s.deletes.Add(1)
+	var puts, deletes int64
+	for i := range writes {
+		w := &writes[i]
+		if w.Delete {
+			s.active.Put(w.Key, tombstoneValue)
+			deletes++
+		} else {
+			// Build the tagged value in scratch; the memtable copies it.
+			eb.val = append(eb.val[:0], tagValue)
+			eb.val = append(eb.val, w.Value...)
+			s.active.Put(w.Key, eb.val)
+			puts++
+		}
 	}
+	s.puts.Add(puts)
+	s.deletes.Add(deletes)
 	memSp.End()
+	s.batchApplies.Add(1)
+	s.met.batchApplies.Inc()
 	shouldFlush := !s.opts.DisableAutoFlush &&
 		s.active.Size() >= s.opts.MemtableSize && s.imm == nil
 	if shouldFlush {
@@ -741,13 +816,14 @@ func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
 // Stats returns a snapshot of cumulative counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Puts:        s.puts.Load(),
-		Deletes:     s.deletes.Load(),
-		Gets:        s.gets.Load(),
-		Scans:       s.scans.Load(),
-		Flushes:     s.flushes.Load(),
-		Compactions: s.compactions.Load(),
-		StallEvents: s.stalls.Load(),
+		Puts:         s.puts.Load(),
+		Deletes:      s.deletes.Load(),
+		Gets:         s.gets.Load(),
+		Scans:        s.scans.Load(),
+		Flushes:      s.flushes.Load(),
+		Compactions:  s.compactions.Load(),
+		StallEvents:  s.stalls.Load(),
+		BatchApplies: s.batchApplies.Load(),
 	}
 }
 

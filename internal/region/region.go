@@ -72,7 +72,7 @@ func Open(info Info, dir string, storeOpts lsm.Options) (*Region, error) {
 // Info returns the region's identity.
 func (r *Region) Info() Info { return r.info }
 
-// Store exposes the backing store for replication appliers and tests.
+// Store exposes the backing store for engine stats and tests.
 func (r *Region) Store() *lsm.Store { return r.store }
 
 // Put writes a key-value pair, rejecting keys outside the region.
@@ -89,6 +89,19 @@ func (r *Region) Delete(key []byte) error {
 		return fmt.Errorf("%w: %q not in %s", ErrOutOfRange, key, r.info)
 	}
 	return r.store.Delete(key)
+}
+
+// ApplyBatch applies a batch of writes in one engine round: a single
+// bounds-check pass over every key, then the store's batched WAL group
+// append and memtable apply. Rejecting before any write keeps the batch
+// all-or-nothing with respect to region bounds.
+func (r *Region) ApplyBatch(writes []lsm.Write) error {
+	for i := range writes {
+		if !r.info.Contains(writes[i].Key) {
+			return fmt.Errorf("%w: %q not in %s", ErrOutOfRange, writes[i].Key, r.info)
+		}
+	}
+	return r.store.ApplyBatch(writes)
 }
 
 // Get reads a key, rejecting keys outside the region.

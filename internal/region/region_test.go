@@ -178,3 +178,30 @@ func TestDestroy(t *testing.T) {
 		t.Fatal("destroyed region retained data")
 	}
 }
+
+func TestApplyBatchBoundsCheckedBeforeApply(t *testing.T) {
+	r := openRegion(t, []byte("b"), []byte("m"))
+	good := []lsm.Write{
+		{Key: []byte("banana"), Value: []byte("1")},
+		{Key: []byte("grape"), Value: []byte("2")},
+		{Key: []byte("fig"), Delete: true},
+	}
+	if err := r.ApplyBatch(good); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := r.Get([]byte("grape")); err != nil || !ok || string(v) != "2" {
+		t.Fatalf("Get(grape) = %q,%v,%v", v, ok, err)
+	}
+
+	// One out-of-range key rejects the whole batch before anything applies.
+	bad := []lsm.Write{
+		{Key: []byte("cherry"), Value: []byte("in")},
+		{Key: []byte("zebra"), Value: []byte("out")},
+	}
+	if err := r.ApplyBatch(bad); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range batch: %v", err)
+	}
+	if _, ok, _ := r.Get([]byte("cherry")); ok {
+		t.Fatal("rejected batch partially applied")
+	}
+}

@@ -13,7 +13,9 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/telemetry"
 )
 
@@ -33,9 +35,19 @@ type Applier interface {
 	Delete(key []byte) error
 }
 
-// Group is a synchronous replication pipeline: the primary first, then each
-// replica in order. A write returns only after all members applied it, so a
-// reader served by any member after the ack sees the write.
+// BatchApplier is satisfied by members that can apply a whole batch in one
+// engine round (one WAL group append, one memtable critical section) —
+// lsm.Store and region.Region both do. Group.ApplyBatch uses it when
+// available and falls back to per-key Put/Delete otherwise.
+type BatchApplier interface {
+	ApplyBatch(writes []lsm.Write) error
+}
+
+// Group is a synchronous replication pipeline. Single-key Put/Delete walk
+// the members in order (primary first); ApplyBatch fans a whole batch out
+// to all members in parallel. Either way a write returns only after all
+// members applied it, so a reader served by any member after the ack sees
+// the write.
 type Group struct {
 	members []Applier
 	acks    *telemetry.Counter
@@ -76,6 +88,66 @@ func (g *Group) Delete(key []byte) error {
 		}
 	}
 	g.acks.Add(int64(len(g.members)))
+	return nil
+}
+
+// ApplyBatch replicates the batch to every member concurrently — the fan-out
+// an HDFS pipeline achieves by streaming — instead of the serial
+// primary→replica→replica chain Put and Delete walk. The write is
+// acknowledged only after every member has applied the whole batch; the
+// lowest-numbered member error wins. Unlike the serial path, a failing
+// member does not stop the others mid-flight, so on error some members may
+// hold writes others rejected — the same partial state a crashed serial
+// pipeline leaves, and the caller's retry/abort handles both identically.
+// The ack counter is bumped once for the whole batch (members × writes).
+func (g *Group) ApplyBatch(writes []lsm.Write) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	if len(g.members) == 1 {
+		if err := applyBatchTo(g.members[0], writes); err != nil {
+			return fmt.Errorf("replication: member 0: %w", err)
+		}
+		g.acks.Add(int64(len(writes)))
+		return nil
+	}
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	wg.Add(len(g.members))
+	for i, m := range g.members {
+		go func(i int, m Applier) {
+			defer wg.Done()
+			errs[i] = applyBatchTo(m, writes)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("replication: member %d: %w", i, err)
+		}
+	}
+	g.acks.Add(int64(len(g.members)) * int64(len(writes)))
+	return nil
+}
+
+// applyBatchTo delivers the batch to one member: in one round when the
+// member supports it, key by key otherwise.
+func applyBatchTo(m Applier, writes []lsm.Write) error {
+	if ba, ok := m.(BatchApplier); ok {
+		return ba.ApplyBatch(writes)
+	}
+	for i := range writes {
+		w := &writes[i]
+		var err error
+		if w.Delete {
+			err = m.Delete(w.Key)
+		} else {
+			err = m.Put(w.Key, w.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"tpcxiot/internal/lsm"
 )
 
 // mapApplier is an in-memory Applier for tests.
@@ -181,5 +183,106 @@ func TestGroupWithManyMembers(t *testing.T) {
 		if len(m.data) != 100 {
 			t.Fatalf("member %d has %d keys, want 100", i, len(m.data))
 		}
+	}
+}
+
+// batchRecorder implements BatchApplier on top of mapApplier and records
+// how the batch arrived (one round vs per-key fallback).
+type batchRecorder struct {
+	mapApplier
+	batchCalls int
+}
+
+func (b *batchRecorder) ApplyBatch(writes []lsm.Write) error {
+	if b.fail != nil {
+		return b.fail
+	}
+	b.batchCalls++
+	for i := range writes {
+		if writes[i].Delete {
+			delete(b.data, string(writes[i].Key))
+		} else {
+			b.data[string(writes[i].Key)] = string(writes[i].Value)
+		}
+	}
+	return nil
+}
+
+func testBatch(n int) []lsm.Write {
+	out := make([]lsm.Write, n)
+	for i := range out {
+		out[i] = lsm.Write{Key: []byte(fmt.Sprintf("k%03d", i)), Value: []byte("v")}
+	}
+	return out
+}
+
+func TestApplyBatchReachesAllMembersInOneRound(t *testing.T) {
+	members := []*batchRecorder{
+		{mapApplier: *newMapApplier()},
+		{mapApplier: *newMapApplier()},
+		{mapApplier: *newMapApplier()},
+	}
+	g := NewGroup(members[0], members[1], members[2])
+	if err := g.ApplyBatch(testBatch(50)); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if len(m.data) != 50 {
+			t.Fatalf("member %d holds %d keys, want 50", i, len(m.data))
+		}
+		if m.batchCalls != 1 {
+			t.Fatalf("member %d applied in %d rounds, want 1", i, m.batchCalls)
+		}
+	}
+}
+
+func TestApplyBatchFallsBackToPerKey(t *testing.T) {
+	// Plain Appliers (no BatchApplier) still receive every write.
+	p, r1 := newMapApplier(), newMapApplier()
+	g := NewGroup(p, r1)
+	batch := testBatch(10)
+	batch = append(batch, lsm.Write{Key: []byte("k003"), Delete: true})
+	if err := g.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []*mapApplier{p, r1} {
+		if len(m.data) != 9 {
+			t.Fatalf("member %d holds %d keys, want 9", i, len(m.data))
+		}
+		if _, ok := m.data["k003"]; ok {
+			t.Fatalf("member %d did not apply the batched delete", i)
+		}
+	}
+}
+
+func TestApplyBatchEmptyIsNoOp(t *testing.T) {
+	g := NewGroup(newMapApplier(), newMapApplier())
+	if err := g.ApplyBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchMemberFailureWins(t *testing.T) {
+	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
+	sentinel := errors.New("replica disk gone")
+	r1.fail = sentinel
+	g := NewGroup(p, r1, r2)
+	if err := g.ApplyBatch(testBatch(5)); !errors.Is(err, sentinel) {
+		t.Fatalf("member failure not surfaced: %v", err)
+	}
+	// The parallel fan-out still applied the batch on healthy members.
+	if len(p.data) != 5 || len(r2.data) != 5 {
+		t.Fatalf("healthy members hold %d/%d keys, want 5/5", len(p.data), len(r2.data))
+	}
+}
+
+func TestApplyBatchSingleMember(t *testing.T) {
+	p := newMapApplier()
+	g := NewGroup(p)
+	if err := g.ApplyBatch(testBatch(7)); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.data) != 7 {
+		t.Fatalf("single member holds %d keys, want 7", len(p.data))
 	}
 }
