@@ -1,0 +1,188 @@
+// Scan-path microbenchmark for the streaming read path (PR 3): the REAL
+// cluster engine driven through the client Scanner, swept across chunk
+// sizes and against the materializing Client.Scan baseline, with and
+// without concurrent ingest. Results are captured in
+// results/BENCH_PR3.json and discussed in EXPERIMENTS.md.
+package tpcxiot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/wal"
+)
+
+// BenchmarkClusterScan measures end-to-end scan throughput on a 3-node,
+// 3-way-replicated table pre-split into three regions and seeded with
+// 1 KiB rows (the TPCx-IoT record size). One op is a full walk of a fixed
+// row range, so ns/op divided by the row count is the per-row cost.
+//
+// Swept dimensions:
+//
+//	mode    materialized (Client.Scan) vs streamed (Client.Scanner) at
+//	        chunk sizes {32, 128, 512}
+//	rows    1000 vs 10000 rows per scan — allocs/op scaling linearly with
+//	        rows (allocs/row flat) confirms O(chunk) streaming memory
+//	ingest  idle vs a concurrent writer ingesting into the same table,
+//	        the dashboard-query-during-ingest shape from the paper
+//
+// Reported metrics beyond ns/op: rows/s and (via ReportAllocs) allocs/op.
+func BenchmarkClusterScan(b *testing.B) {
+	const (
+		seeded  = 10_000
+		keyTmpl = "s%06d"
+	)
+	value := bytes.Repeat([]byte("x"), 1024)
+
+	// newSeededCluster builds a fresh pre-split, seeded cluster. Each
+	// sub-benchmark gets its own so the live-ingest variants all start from
+	// the same store state instead of inheriting earlier variants' writes.
+	newSeededCluster := func(b *testing.B) *hbase.Cluster {
+		b.Helper()
+		dir, err := os.MkdirTemp("", "tpcxiot-scan-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { os.RemoveAll(dir) })
+		splits := [][]byte{
+			[]byte(fmt.Sprintf(keyTmpl, seeded/3)),
+			[]byte(fmt.Sprintf(keyTmpl, 2*seeded/3)),
+		}
+		cluster, err := hbase.NewCluster(hbase.Config{
+			Nodes:   3,
+			DataDir: dir,
+			Store:   lsm.Options{WALSync: wal.SyncNever, MemtableSize: 8 << 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { cluster.Close() })
+		if _, err := cluster.CreateTable("scan", splits); err != nil {
+			b.Fatal(err)
+		}
+		seedClient, err := cluster.NewClient("scan", 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < seeded; i++ {
+			if err := seedClient.Put([]byte(fmt.Sprintf(keyTmpl, i)), value); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := seedClient.FlushCommits(); err != nil {
+			b.Fatal(err)
+		}
+		return cluster
+	}
+
+	// startIngest launches a full-rate writer into a key prefix above the
+	// scanned range (readings keep arriving while dashboards query).
+	startIngest := func(cluster *hbase.Cluster) (stop func()) {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc, err := cluster.NewClient("scan", 64<<10)
+			if err != nil {
+				return
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					wc.FlushCommits()
+					return
+				default:
+				}
+				if err := wc.Put([]byte(fmt.Sprintf("w%09d", i)), value); err != nil {
+					return
+				}
+			}
+		}()
+		return func() { close(done); wg.Wait() }
+	}
+
+	scanRange := func(rows int) (lo, hi []byte) {
+		return []byte(fmt.Sprintf(keyTmpl, 0)), []byte(fmt.Sprintf(keyTmpl, rows))
+	}
+
+	type mode struct {
+		name  string
+		chunk int // 0 = materialized Client.Scan baseline
+	}
+	modes := []mode{
+		{"materialized", 0},
+		{"streamed/chunk=32", 32},
+		{"streamed/chunk=128", 128},
+		{"streamed/chunk=512", 512},
+	}
+	for _, ingest := range []string{"idle", "live"} {
+		for _, m := range modes {
+			for _, rows := range []int{1_000, 10_000} {
+				// The chunk sweep only needs the full range; the size sweep
+				// (allocs/row flatness) runs at the default chunk.
+				if rows != seeded && m.chunk != 128 && m.chunk != 0 {
+					continue
+				}
+				name := fmt.Sprintf("ingest=%s/%s/rows=%d", ingest, m.name, rows)
+				b.Run(name, func(b *testing.B) {
+					cluster := newSeededCluster(b)
+					client, err := cluster.NewClient("scan", 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lo, hi := scanRange(rows)
+					var stop func()
+					if ingest == "live" {
+						stop = startIngest(cluster)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						got := 0
+						if m.chunk == 0 {
+							res, err := client.Scan(lo, hi, 0)
+							if err != nil {
+								b.Fatal(err)
+							}
+							got = len(res)
+						} else {
+							sc, err := client.NewScannerChunk(lo, hi, 0, m.chunk)
+							if err != nil {
+								b.Fatal(err)
+							}
+							for {
+								_, ok, err := sc.Next()
+								if err != nil {
+									b.Fatal(err)
+								}
+								if !ok {
+									break
+								}
+								got++
+							}
+							if err := sc.Close(); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if got != rows {
+							b.Fatalf("scan returned %d rows, want %d", got, rows)
+						}
+					}
+					b.StopTimer()
+					if stop != nil {
+						stop()
+					}
+					if el := b.Elapsed().Seconds(); el > 0 {
+						b.ReportMetric(float64(b.N)*float64(rows)/el, "rows/s")
+					}
+				})
+			}
+		}
+	}
+}

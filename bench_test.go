@@ -81,7 +81,10 @@ type discardDB struct{}
 func (discardDB) Insert(key, value []byte) error               { return nil }
 func (discardDB) Read(key []byte) ([]byte, bool, error)        { return nil, false, nil }
 func (discardDB) Scan(lo, hi []byte, n int) ([]ycsb.KV, error) { return nil, nil }
-func (discardDB) Close() error                                 { return nil }
+func (discardDB) ScanIter(lo, hi []byte, n int) (ycsb.RowIter, error) {
+	return ycsb.SliceIter(nil), nil
+}
+func (discardDB) Close() error { return nil }
 
 // BenchmarkTable1SubstationScaling regenerates Table I's rows: the 8-node
 // substation sweep with system-wide and per-sensor rates.

@@ -117,4 +117,22 @@ func (d clientDB) Scan(lo, hi []byte, limit int) ([]ycsb.KV, error) {
 	}
 	return out, nil
 }
+func (d clientDB) ScanIter(lo, hi []byte, limit int) (ycsb.RowIter, error) {
+	sc, err := d.c.NewScanner(lo, hi, limit)
+	if err != nil {
+		return nil, err
+	}
+	return scannerIter{sc: sc}, nil
+}
+
+// scannerIter streams the client Scanner's rows to the query helper.
+type scannerIter struct{ sc *hbase.Scanner }
+
+func (it scannerIter) Next() (ycsb.KV, bool, error) {
+	row, ok, err := it.sc.Next()
+	return ycsb.KV{Key: row.Key, Value: row.Value}, ok, err
+}
+
+func (it scannerIter) Close() error { return it.sc.Close() }
+
 func (d clientDB) Close() error { return d.c.Close() }

@@ -106,6 +106,10 @@ func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
 		}
 		fmt.Fprintf(b, "    %-18s %s\n", stage, snap)
 	}
+	if snap, ok := t.Histogram("scan.next"); ok {
+		fmt.Fprintf(b, "  scan path (ns per chunk fetch):\n")
+		fmt.Fprintf(b, "    %-18s %s\n", "scan.next", snap)
+	}
 	for _, h := range t.Histograms {
 		if strings.HasPrefix(h.Name, "query.") {
 			fmt.Fprintf(b, "  %-20s %s\n", h.Name, h.Snap)
@@ -121,6 +125,12 @@ func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
 		fmt.Fprintf(b, "  write batching: %.1f writes/batch, %.2f fsyncs/batch\n",
 			float64(counterValue(t, "wal.appends"))/float64(batches),
 			float64(counterValue(t, "wal.syncs"))/float64(batches))
+	}
+	if chunks := counterValue(t, "hbase.scan_chunks"); chunks > 0 {
+		fmt.Fprintf(b, "  scan streaming: %.1f rows/chunk over %d scanners (%d lease expiries)\n",
+			float64(counterValue(t, "hbase.scan_rows_streamed"))/float64(chunks),
+			counterValue(t, "hbase.scanner_opens"),
+			counterValue(t, "hbase.scanner_lease_expiries"))
 	}
 	fmt.Fprintf(b, "\n")
 }

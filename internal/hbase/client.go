@@ -100,19 +100,31 @@ func (c *Client) FlushCommits() error {
 		return ErrClientClosed
 	}
 	sp := c.flushSpan.Start()
-	for tr, batch := range c.buffers {
-		if len(batch) == 0 {
-			delete(c.buffers, tr)
-			continue
+	for tr := range c.buffers {
+		if err := c.flushRegion(tr); err != nil {
+			return err
 		}
-		if err := c.rpc.mutate(tr, batch); err != nil {
-			return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
-		}
-		c.buffered -= mutationBytes(batch)
-		delete(c.buffers, tr)
 	}
 	sp.End()
 	c.flushesC.Inc()
+	return nil
+}
+
+// flushRegion ships one region's buffered batch, leaving every other
+// region's buffer untouched. Reads flush this way: only the region being
+// read needs its writes visible, so a Get or Scan over one key range no
+// longer forces every region's batch out early.
+func (c *Client) flushRegion(tr *tableRegion) error {
+	batch := c.buffers[tr]
+	if len(batch) == 0 {
+		delete(c.buffers, tr)
+		return nil
+	}
+	if err := c.rpc.mutate(tr, batch); err != nil {
+		return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
+	}
+	c.buffered -= mutationBytes(batch)
+	delete(c.buffers, tr)
 	return nil
 }
 
@@ -130,52 +142,42 @@ func mutationBytes(batch []Mutation) int64 {
 func (c *Client) BufferedBytes() int64 { return c.buffered }
 
 // Get reads one key from the region's primary, after flushing any buffered
-// write of that key so the client reads its own writes.
+// write for that region so the client reads its own writes. Only the
+// target region's batch is shipped — other regions keep batching.
 func (c *Client) Get(key []byte) ([]byte, bool, error) {
 	if c.closed {
 		return nil, false, ErrClientClosed
 	}
 	tr := c.table.locate(key)
 	if len(c.buffers[tr]) > 0 {
-		if err := c.FlushCommits(); err != nil {
+		if err := c.flushRegion(tr); err != nil {
 			return nil, false, err
 		}
 	}
 	return c.rpc.get(tr, key)
 }
 
-// Scan reads all rows with lo <= key < hi (nil hi scans to the table end),
-// visiting every overlapping region in key order. limit <= 0 is unlimited;
-// with a limit the scan stops after that many rows. Buffered writes are
-// flushed first so the scan observes them.
+// Scan reads all rows with lo <= key < hi (nil hi scans to the table end)
+// and materializes the whole result. It is a thin wrapper over Scanner for
+// callers that want a slice; use NewScanner to stream in O(chunk) memory.
+// limit <= 0 is unlimited.
 func (c *Client) Scan(lo, hi []byte, limit int) ([]Row, error) {
-	if c.closed {
-		return nil, ErrClientClosed
+	sc, err := c.NewScanner(lo, hi, limit)
+	if err != nil {
+		return nil, err
 	}
-	if c.buffered > 0 {
-		if err := c.FlushCommits(); err != nil {
+	defer sc.Close()
+	var out []Row
+	for {
+		row, ok, err := sc.Next()
+		if err != nil {
 			return nil, err
 		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
 	}
-	var out []Row
-	for _, tr := range c.table.regions {
-		if !rangesOverlap(lo, hi, tr.info.StartKey, tr.info.EndKey) {
-			continue
-		}
-		remaining := 0
-		if limit > 0 {
-			remaining = limit - len(out)
-			if remaining <= 0 {
-				break
-			}
-		}
-		rows, err := c.rpc.scan(tr, lo, hi, remaining)
-		if err != nil {
-			return nil, fmt.Errorf("hbase: scan %s: %w", tr.info.Name, err)
-		}
-		out = append(out, rows...)
-	}
-	return out, nil
 }
 
 // rangesOverlap reports whether scan range [lo,hi) intersects region range

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/region"
@@ -52,6 +53,10 @@ type Config struct {
 	// HandlerCount bounds concurrently executing requests per server
 	// (hbase.regionserver.handler.count). Defaults to 32.
 	HandlerCount int
+	// ScannerLeaseTimeout bounds how long an idle scanner session survives
+	// between next calls before the server reclaims it
+	// (hbase.client.scanner.timeout.period). Defaults to 60s.
+	ScannerLeaseTimeout time.Duration
 	// DataDir is the root directory for all stores. Required.
 	DataDir string
 	// Store is the per-region LSM configuration (Dir is set internally).
@@ -82,6 +87,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.HandlerCount <= 0 {
 		c.HandlerCount = 32
+	}
+	if c.ScannerLeaseTimeout <= 0 {
+		c.ScannerLeaseTimeout = 60 * time.Second
 	}
 	if c.Store.Registry == nil {
 		c.Store.Registry = c.Registry
@@ -128,7 +136,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	cl := &Cluster{cfg: c, tables: make(map[string]*Table)}
 	for i := 0; i < c.Nodes; i++ {
 		cl.servers = append(cl.servers, newRegionServer(i,
-			filepath.Join(c.DataDir, fmt.Sprintf("node-%02d", i)), c.HandlerCount))
+			filepath.Join(c.DataDir, fmt.Sprintf("node-%02d", i)),
+			c.HandlerCount, c.ScannerLeaseTimeout, c.Registry))
 	}
 	return cl, nil
 }

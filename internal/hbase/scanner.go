@@ -1,0 +1,206 @@
+package hbase
+
+import (
+	"fmt"
+)
+
+// DefaultScanChunk is the number of rows fetched per scanner-session next
+// call when the caller does not choose a chunk size. TPCx-IoT's dashboard
+// intervals hold a few hundred readings, so the default streams a typical
+// query in one or two chunks without ever materializing a large range.
+const DefaultScanChunk = 128
+
+// defaultScanChunk is the server-side fallback for a next call that asks
+// for a non-positive chunk.
+const defaultScanChunk = DefaultScanChunk
+
+// Scanner streams rows with lo <= key < hi in key order, region by region —
+// the client half of the scanner-session protocol, mirroring HBase's
+// ClientScanner. Each overlapping region is scanned through a server-side
+// snapshot scanner in fixed-size chunks, and while the caller consumes one
+// chunk the Scanner prefetches the next, overlapping aggregation with the
+// chunk RPC. Memory use is O(chunk), independent of the result size.
+//
+// A Scanner belongs to its Client and, like the Client, serves a single
+// goroutine. While a Scanner is open the owning client must not issue
+// other operations (the prefetched chunk may be in flight on the shared
+// connection); fully drain or Close it first.
+type Scanner struct {
+	c      *Client
+	lo, hi []byte
+	chunk  int
+
+	limited   bool
+	remaining int // rows still to hand out when limited
+
+	regions []*tableRegion // overlapping regions in key order
+	ri      int            // index of the region being scanned
+	id      uint64         // open scanner-session id on regions[ri]
+	open    bool           // a server-side session is open
+	pre     chan chunkResult
+
+	cur    []Row
+	curIdx int
+	done   bool
+	closed bool
+	err    error
+}
+
+// chunkResult is one prefetched chunk.
+type chunkResult struct {
+	rows []Row
+	more bool
+	err  error
+}
+
+// NewScanner opens a streaming scan over [lo, hi) with the default chunk
+// size. limit <= 0 is unlimited. Buffered writes are flushed for the
+// overlapping regions only, so the scan reads its own writes without
+// forcing unrelated regions' batches out early.
+func (c *Client) NewScanner(lo, hi []byte, limit int) (*Scanner, error) {
+	return c.NewScannerChunk(lo, hi, limit, DefaultScanChunk)
+}
+
+// NewScannerChunk is NewScanner with an explicit rows-per-chunk size.
+func (c *Client) NewScannerChunk(lo, hi []byte, limit, chunk int) (*Scanner, error) {
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if chunk <= 0 {
+		chunk = DefaultScanChunk
+	}
+	s := &Scanner{
+		c:         c,
+		lo:        lo,
+		hi:        hi,
+		chunk:     chunk,
+		limited:   limit > 0,
+		remaining: limit,
+	}
+	for _, tr := range c.table.regions {
+		if !rangesOverlap(lo, hi, tr.info.StartKey, tr.info.EndKey) {
+			continue
+		}
+		if err := c.flushRegion(tr); err != nil {
+			return nil, err
+		}
+		s.regions = append(s.regions, tr)
+	}
+	return s, nil
+}
+
+// Next returns the next row in key order. ok=false without an error means
+// the scan is exhausted. Rows are owned copies, safe to retain.
+func (s *Scanner) Next() (Row, bool, error) {
+	for {
+		if s.err != nil || s.closed || s.done {
+			return Row{}, false, s.err
+		}
+		if s.curIdx < len(s.cur) {
+			row := s.cur[s.curIdx]
+			s.curIdx++
+			if s.limited {
+				s.remaining--
+				if s.remaining <= 0 {
+					// The server closed the session when its own limit hit;
+					// nothing remains to release.
+					s.done = true
+					s.open = false
+					s.drainPrefetch()
+				}
+			}
+			return row, true, nil
+		}
+		s.fill()
+	}
+}
+
+// fill advances to the next non-empty chunk: receiving the prefetched
+// chunk of the current region, moving to the next region, or finishing.
+func (s *Scanner) fill() {
+	for {
+		if s.open {
+			res := <-s.pre
+			s.pre = nil
+			if res.err != nil {
+				s.open = false
+				s.err = fmt.Errorf("hbase: scan %s: %w", s.regions[s.ri].info.Name, res.err)
+				return
+			}
+			if res.more {
+				// Overlap the caller's consumption of this chunk with the
+				// next chunk's RPC.
+				s.prefetch()
+			} else {
+				s.open = false
+				s.ri++
+			}
+			if len(res.rows) > 0 {
+				s.cur, s.curIdx = res.rows, 0
+				return
+			}
+			continue
+		}
+		if s.ri >= len(s.regions) || (s.limited && s.remaining <= 0) {
+			s.done = true
+			return
+		}
+		tr := s.regions[s.ri]
+		lim := 0
+		if s.limited {
+			lim = s.remaining
+		}
+		id, err := s.c.rpc.openScanner(tr, s.lo, s.hi, lim)
+		if err != nil {
+			s.err = fmt.Errorf("hbase: scan %s: %w", tr.info.Name, err)
+			return
+		}
+		s.id = id
+		s.open = true
+		s.prefetch()
+	}
+}
+
+// prefetch launches the next chunk fetch. Exactly one fetch is ever in
+// flight, so the single-outstanding-request transport contract holds.
+func (s *Scanner) prefetch() {
+	ch := make(chan chunkResult, 1)
+	s.pre = ch
+	tr, id, chunk, rpc := s.regions[s.ri], s.id, s.chunk, s.c.rpc
+	go func() {
+		rows, more, err := rpc.scanNext(tr, id, chunk)
+		ch <- chunkResult{rows: rows, more: more, err: err}
+	}()
+}
+
+// drainPrefetch waits out an in-flight chunk fetch so the transport is
+// quiescent; the result is discarded but updates session-open state.
+func (s *Scanner) drainPrefetch() {
+	if s.pre == nil {
+		return
+	}
+	res := <-s.pre
+	s.pre = nil
+	if res.err != nil || !res.more {
+		s.open = false
+	} else {
+		s.open = true
+	}
+}
+
+// Close releases the scanner, abandoning any open server-side session.
+// Safe to call more than once and after exhaustion.
+func (s *Scanner) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.drainPrefetch()
+	if s.open {
+		s.open = false
+		if err := s.c.rpc.closeScanner(s.regions[s.ri], s.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,14 +1,22 @@
 package hbase
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/region"
 	"tpcxiot/internal/replication"
+	"tpcxiot/internal/telemetry"
 )
+
+// ErrUnknownScanner is returned by next/close for a scanner id the server
+// does not hold — never issued, already exhausted, or reclaimed by lease
+// expiry.
+var ErrUnknownScanner = errors.New("hbase: unknown scanner (closed or lease expired)")
 
 // RegionServer hosts region replicas and bounds request concurrency with a
 // handler pool, mirroring hbase.regionserver.handler.count.
@@ -20,26 +28,68 @@ type RegionServer struct {
 	mu      sync.RWMutex
 	regions map[string]*region.Region // every replica hosted here
 
+	// Scanner sessions: long-lived server-side scanners (HBase's
+	// RegionScanner), each pinning an LSM snapshot. Sessions are leased;
+	// ones a client abandons are reclaimed on the next sweep.
+	scanMu     sync.Mutex
+	scanners   map[uint64]*scannerSession
+	nextScanID uint64
+	leaseDur   time.Duration
+
 	requests  atomic.Int64
 	mutations atomic.Int64
 	rowsRead  atomic.Int64
+
+	met serverMetrics
+}
+
+// serverMetrics holds the read-path instruments, resolved once at server
+// construction. All nil-safe.
+type serverMetrics struct {
+	scannerOpens  *telemetry.Counter // hbase.scanner_opens
+	scanChunks    *telemetry.Counter // hbase.scan_chunks
+	rowsStreamed  *telemetry.Counter // hbase.scan_rows_streamed
+	leaseExpiries *telemetry.Counter // hbase.scanner_lease_expiries
+	nextSpan      *telemetry.Timer   // scan.next: one chunk fetch
+}
+
+// scannerSession is one open server-side scanner. While a next call is
+// advancing it, the session is checked out of the table, so the lease
+// sweeper never closes an iterator mid-use; the single-caller client
+// contract means no second next for the same id runs concurrently.
+type scannerSession struct {
+	id        uint64
+	it        *lsm.Iter
+	limited   bool
+	remaining int // rows the scan may still return; meaningful when limited
+	deadline  time.Time
 }
 
 // ServerStats is a snapshot of one server's counters.
 type ServerStats struct {
-	ID        int
-	Regions   int
-	Requests  int64
-	Mutations int64
-	RowsRead  int64
+	ID           int
+	Regions      int
+	Requests     int64
+	Mutations    int64
+	RowsRead     int64
+	OpenScanners int
 }
 
-func newRegionServer(id int, dir string, handlerCount int) *RegionServer {
+func newRegionServer(id int, dir string, handlerCount int, leaseDur time.Duration, reg *telemetry.Registry) *RegionServer {
 	return &RegionServer{
 		id:       id,
 		dir:      dir,
 		handlers: make(chan struct{}, handlerCount),
 		regions:  make(map[string]*region.Region),
+		scanners: make(map[uint64]*scannerSession),
+		leaseDur: leaseDur,
+		met: serverMetrics{
+			scannerOpens:  reg.Counter("hbase.scanner_opens"),
+			scanChunks:    reg.Counter("hbase.scan_chunks"),
+			rowsStreamed:  reg.Counter("hbase.scan_rows_streamed"),
+			leaseExpiries: reg.Counter("hbase.scanner_lease_expiries"),
+			nextSpan:      reg.Timer("scan.next"),
+		},
 	}
 }
 
@@ -101,38 +151,160 @@ func (s *RegionServer) get(r *region.Region, key []byte) ([]byte, bool, error) {
 	return v, ok, err
 }
 
-// Row is one key-value pair returned by a scan RPC.
+// Row is one key-value pair returned by a scan chunk. Rows are owned
+// copies, safe to retain.
 type Row struct {
 	Key   []byte
 	Value []byte
 }
 
-// scan is the server-side range-read RPC over [lo, hi); limit <= 0 means
-// unlimited. Results are copies, safe to retain.
-func (s *RegionServer) scan(r *region.Region, lo, hi []byte, limit int) ([]Row, error) {
+// openScanner is the scanner-session open RPC: it pins an LSM snapshot over
+// [lo, hi) on the region and registers a leased session. limit <= 0 means
+// unlimited. The scanner id is only meaningful on this server.
+func (s *RegionServer) openScanner(r *region.Region, lo, hi []byte, limit int) (uint64, error) {
 	s.acquire()
 	defer s.release()
 	s.requests.Add(1)
-	var rows []Row
-	err := r.Scan(lo, hi, func(k, v []byte) error {
-		rows = append(rows, Row{
-			Key:   append([]byte(nil), k...),
-			Value: append([]byte(nil), v...),
-		})
-		if limit > 0 && len(rows) >= limit {
-			return errScanLimit
-		}
-		return nil
-	})
-	if err == errScanLimit {
-		err = nil
+	it, err := r.NewIterator(lo, hi)
+	if err != nil {
+		return 0, err
 	}
-	s.rowsRead.Add(int64(len(rows)))
-	return rows, err
+	sess := &scannerSession{it: it, limited: limit > 0, remaining: limit}
+	s.scanMu.Lock()
+	s.sweepExpiredLocked(time.Now())
+	s.nextScanID++
+	sess.id = s.nextScanID
+	sess.deadline = time.Now().Add(s.leaseDur)
+	s.scanners[sess.id] = sess
+	s.scanMu.Unlock()
+	s.met.scannerOpens.Inc()
+	return sess.id, nil
 }
 
-// errScanLimit terminates a limited scan early; never returned to callers.
-var errScanLimit = fmt.Errorf("hbase: scan limit reached")
+// next is the scanner-session read RPC: it returns up to chunk rows under
+// ONE handler slot — a long scan occupies a handler per chunk, not for its
+// whole lifetime, so concurrent ingest keeps flowing between chunks.
+// more=false means the scan is finished (bound, limit or error) and the
+// server has already closed the session.
+func (s *RegionServer) next(id uint64, chunk int) (rows []Row, more bool, err error) {
+	s.acquire()
+	defer s.release()
+	s.requests.Add(1)
+	sp := s.met.nextSpan.Start()
+	defer sp.End()
+	if chunk <= 0 {
+		chunk = defaultScanChunk
+	}
+
+	sess, err := s.checkoutScanner(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if sess.limited && chunk > sess.remaining {
+		chunk = sess.remaining
+	}
+
+	// Copy once at the ownership boundary: the iterator's slices are only
+	// valid until its next advance, so each key/value is appended to a
+	// per-chunk arena the returned rows alias — one copy, one allocation,
+	// per chunk (plus the row headers).
+	it := sess.it
+	var (
+		arena []byte
+		meta  []int // interleaved key/value lengths
+	)
+	n := 0
+	for it.Valid() && n < chunk {
+		arena = append(arena, it.Key()...)
+		arena = append(arena, it.Value()...)
+		meta = append(meta, len(it.Key()), len(it.Value()))
+		n++
+		it.Next()
+	}
+	rows = make([]Row, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		kl, vl := meta[2*i], meta[2*i+1]
+		rows[i] = Row{
+			Key:   arena[off : off+kl : off+kl],
+			Value: arena[off+kl : off+kl+vl : off+kl+vl],
+		}
+		off += kl + vl
+	}
+
+	if sess.limited {
+		sess.remaining -= n
+	}
+	iterErr := it.Error()
+	finished := iterErr != nil || !it.Valid() || (sess.limited && sess.remaining <= 0)
+	if finished {
+		it.Close()
+	} else {
+		s.checkinScanner(sess)
+	}
+
+	s.rowsRead.Add(int64(n))
+	s.met.scanChunks.Inc()
+	s.met.rowsStreamed.Add(int64(n))
+	return rows, !finished, iterErr
+}
+
+// closeScanner is the scanner-session close RPC. Closing an id the server
+// no longer holds (already exhausted, or lease-reclaimed) is a no-op:
+// close is how clients abandon scans, and the race with expiry is benign.
+func (s *RegionServer) closeScanner(id uint64) error {
+	s.acquire()
+	defer s.release()
+	s.requests.Add(1)
+	sess, err := s.checkoutScanner(id)
+	if err != nil {
+		return nil
+	}
+	return sess.it.Close()
+}
+
+// checkoutScanner removes the session from the table for exclusive use;
+// callers must check it back in (or close it) before returning.
+func (s *RegionServer) checkoutScanner(id uint64) (*scannerSession, error) {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	s.sweepExpiredLocked(time.Now())
+	sess, ok := s.scanners[id]
+	if !ok {
+		return nil, ErrUnknownScanner
+	}
+	delete(s.scanners, id)
+	return sess, nil
+}
+
+// checkinScanner returns a checked-out session with a renewed lease.
+func (s *RegionServer) checkinScanner(sess *scannerSession) {
+	s.scanMu.Lock()
+	sess.deadline = time.Now().Add(s.leaseDur)
+	s.scanners[sess.id] = sess
+	s.scanMu.Unlock()
+}
+
+// sweepExpiredLocked reclaims sessions whose lease lapsed, releasing their
+// pinned snapshots. Caller holds scanMu. The sweep runs on every scanner
+// RPC, so an abandoned scanner survives at most one lease period past the
+// next scanner activity on the server.
+func (s *RegionServer) sweepExpiredLocked(now time.Time) {
+	for id, sess := range s.scanners {
+		if now.After(sess.deadline) {
+			sess.it.Close()
+			delete(s.scanners, id)
+			s.met.leaseExpiries.Inc()
+		}
+	}
+}
+
+// OpenScannerCount reports live scanner sessions, for tests and stats.
+func (s *RegionServer) OpenScannerCount() int {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	return len(s.scanners)
+}
 
 // Stats snapshots the server's counters.
 func (s *RegionServer) Stats() ServerStats {
@@ -140,10 +312,11 @@ func (s *RegionServer) Stats() ServerStats {
 	regions := len(s.regions)
 	s.mu.RUnlock()
 	return ServerStats{
-		ID:        s.id,
-		Regions:   regions,
-		Requests:  s.requests.Load(),
-		Mutations: s.mutations.Load(),
-		RowsRead:  s.rowsRead.Load(),
+		ID:           s.id,
+		Regions:      regions,
+		Requests:     s.requests.Load(),
+		Mutations:    s.mutations.Load(),
+		RowsRead:     s.rowsRead.Load(),
+		OpenScanners: s.OpenScannerCount(),
 	}
 }

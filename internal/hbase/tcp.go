@@ -167,7 +167,7 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 			resp.uvarint(0)
 		}
 
-	case opScan:
+	case opScanOpen:
 		lo, err := req.optBytes()
 		if err != nil {
 			fail(err)
@@ -183,17 +183,53 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 			fail(err)
 			return
 		}
-		rows, err := srv.scan(tr.replicas[0], lo, hi, int(limit))
+		id, err := srv.openScanner(tr.replicas[0], lo, hi, int(limit))
 		if err != nil {
 			fail(err)
 			return
 		}
 		resp.reset(statusOK)
+		resp.uvarint(id)
+
+	case opScanNext:
+		id, err := req.uvarint()
+		if err != nil {
+			fail(err)
+			return
+		}
+		chunk, err := req.uvarint()
+		if err != nil {
+			fail(err)
+			return
+		}
+		rows, more, err := srv.next(id, int(chunk))
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.reset(statusOK)
+		if more {
+			resp.uvarint(1)
+		} else {
+			resp.uvarint(0)
+		}
 		resp.uvarint(uint64(len(rows)))
 		for _, row := range rows {
 			resp.bytes(row.Key)
 			resp.bytes(row.Value)
 		}
+
+	case opScanClose:
+		id, err := req.uvarint()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := srv.closeScanner(id); err != nil {
+			fail(err)
+			return
+		}
+		resp.reset(statusOK)
 
 	default:
 		fail(fmt.Errorf("hbase: unknown opcode %d", req.op))

@@ -266,7 +266,7 @@ func TestClusterCloseStopsTCP(t *testing.T) {
 
 func TestWireFormatRoundTrip(t *testing.T) {
 	var fw frameWriter
-	fw.reset(opScan)
+	fw.reset(opScanOpen)
 	fw.str("region-name")
 	fw.optBytes(nil)
 	fw.optBytes([]byte{})
@@ -282,7 +282,7 @@ func TestWireFormatRoundTrip(t *testing.T) {
 	if err := fr.readFrame(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if fr.op != opScan {
+	if fr.op != opScanOpen {
 		t.Fatalf("op = %d", fr.op)
 	}
 	if s, _ := fr.str(); s != "region-name" {

@@ -8,11 +8,16 @@ import (
 )
 
 // transport is how a client reaches region servers: direct in-process calls
-// or the TCP wire protocol.
+// or the TCP wire protocol. Scans are sessions: openScanner pins a
+// server-side snapshot scanner, scanNext streams one chunk (more=false
+// means the server already closed the session), closeScanner abandons one
+// early.
 type transport interface {
 	mutate(tr *tableRegion, batch []Mutation) error
 	get(tr *tableRegion, key []byte) ([]byte, bool, error)
-	scan(tr *tableRegion, lo, hi []byte, limit int) ([]Row, error)
+	openScanner(tr *tableRegion, lo, hi []byte, limit int) (uint64, error)
+	scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, bool, error)
+	closeScanner(tr *tableRegion, id uint64) error
 	close() error
 }
 
@@ -27,8 +32,16 @@ func (inprocTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
 	return tr.primary.get(tr.replicas[0], key)
 }
 
-func (inprocTransport) scan(tr *tableRegion, lo, hi []byte, limit int) ([]Row, error) {
-	return tr.primary.scan(tr.replicas[0], lo, hi, limit)
+func (inprocTransport) openScanner(tr *tableRegion, lo, hi []byte, limit int) (uint64, error) {
+	return tr.primary.openScanner(tr.replicas[0], lo, hi, limit)
+}
+
+func (inprocTransport) scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, bool, error) {
+	return tr.primary.next(id, chunk)
+}
+
+func (inprocTransport) closeScanner(tr *tableRegion, id uint64) error {
+	return tr.primary.closeScanner(id)
 }
 
 func (inprocTransport) close() error { return nil }
@@ -159,37 +172,63 @@ func (t *tcpTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
 	return append([]byte(nil), v...), true, nil
 }
 
-func (t *tcpTransport) scan(tr *tableRegion, lo, hi []byte, limit int) ([]Row, error) {
+func (t *tcpTransport) openScanner(tr *tableRegion, lo, hi []byte, limit int) (uint64, error) {
 	var req frameWriter
 	var resp frameReader
-	req.reset(opScan)
+	req.reset(opScanOpen)
 	req.str(tr.info.Name)
 	req.optBytes(lo)
 	req.optBytes(hi)
 	req.uvarint(uint64(limit))
 	if err := t.call(tr.primary, &req, &resp); err != nil {
-		return nil, err
+		return 0, err
+	}
+	return resp.uvarint()
+}
+
+func (t *tcpTransport) scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, bool, error) {
+	var req frameWriter
+	var resp frameReader
+	req.reset(opScanNext)
+	req.str(tr.info.Name)
+	req.uvarint(id)
+	req.uvarint(uint64(chunk))
+	if err := t.call(tr.primary, &req, &resp); err != nil {
+		return nil, false, err
+	}
+	more, err := resp.uvarint()
+	if err != nil {
+		return nil, false, err
 	}
 	n, err := resp.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	rows := make([]Row, 0, n)
 	for i := uint64(0); i < n; i++ {
 		k, err := resp.bytes()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		v, err := resp.bytes()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		rows = append(rows, Row{
-			Key:   append([]byte(nil), k...),
-			Value: append([]byte(nil), v...),
-		})
+		rows = append(rows, Row{Key: k, Value: v})
 	}
-	return rows, nil
+	// The rows alias the frame buffer; hand its ownership to them instead
+	// of re-copying every key and value. resp is stack-local, so dropping
+	// the reference is all the detaching needed.
+	return rows, more == 1, nil
+}
+
+func (t *tcpTransport) closeScanner(tr *tableRegion, id uint64) error {
+	var req frameWriter
+	var resp frameReader
+	req.reset(opScanClose)
+	req.str(tr.info.Name)
+	req.uvarint(id)
+	return t.call(tr.primary, &req, &resp)
 }
 
 func (t *tcpTransport) close() error {

@@ -23,11 +23,16 @@ import (
 // string. The protocol is deliberately minimal: one outstanding request
 // per connection, matching the one-client-per-worker-thread model.
 
-// opcodes.
+// opcodes. Scans are a session of three ops (open, a next per chunk,
+// close), the wire form of the server's scanner sessions; the retired
+// one-shot scan op (formerly opcode 3) shipped a whole region scan as a
+// single frame.
 const (
-	opMutate byte = 1
-	opGet    byte = 2
-	opScan   byte = 3
+	opMutate    byte = 1
+	opGet       byte = 2
+	opScanOpen  byte = 3
+	opScanNext  byte = 4
+	opScanClose byte = 5
 )
 
 // response statuses.

@@ -1,0 +1,116 @@
+package lsm
+
+import (
+	"bytes"
+)
+
+// Iter is a long-lived streaming iterator over a pinned snapshot of the
+// store: the memtable views and the table set captured at NewIterator time.
+// The snapshot is held by reference — each table handle's refcount is
+// incremented for the iterator's lifetime, and memtable nodes are never
+// unlinked — so the iterator survives concurrent flushes and compactions
+// without rescanning and without observing their effects: a table retired
+// by compaction stays readable until Close, and a table installed after the
+// snapshot is never consulted (its contents are the pinned memtable's, so
+// consulting both would duplicate rows).
+//
+// Iterators position only on live entries (tombstones are merged away) and
+// stop at the exclusive upper bound fixed at open. Key and Value return
+// slices owned by the snapshot, valid until the next call to Next or Close;
+// callers that retain rows must copy them. An Iter is not safe for
+// concurrent use, but any number of iterators may run concurrently with
+// each other and with writers.
+type Iter struct {
+	held   []*tableHandle
+	merged *mergeIterator
+	hi     []byte // exclusive upper bound; nil = end of keyspace
+	closed bool
+}
+
+// NewIterator opens a streaming iterator over live entries with
+// lo <= key < hi, in ascending key order. A nil hi scans to the end of the
+// keyspace. The returned iterator is positioned at the first entry (check
+// Valid); it observes a snapshot pinned at this call and MUST be closed to
+// release the pinned table files.
+func (s *Store) NewIterator(lo, hi []byte) (*Iter, error) {
+	if hi != nil && bytes.Compare(lo, hi) > 0 {
+		return nil, ErrBadRange
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	sources := make([]iterator, 0, 2+len(s.tables))
+	ait := s.active.NewIterator()
+	ait.Seek(lo)
+	sources = append(sources, memIter{ait})
+	if s.imm != nil {
+		iit := s.imm.NewIterator()
+		iit.Seek(lo)
+		sources = append(sources, memIter{iit})
+	}
+	held := append([]*tableHandle(nil), s.tables...)
+	for _, t := range held {
+		t.acquire()
+		it := t.reader.NewIterator()
+		it.Seek(lo)
+		sources = append(sources, it)
+	}
+	s.mu.RUnlock()
+	s.scans.Add(1)
+
+	it := &Iter{held: held, merged: newMergeIterator(sources), hi: hi}
+	it.skipDead()
+	return it, nil
+}
+
+// skipDead advances the merge past tombstones and clamps at the upper
+// bound, so the iterator rests on a live in-range entry or exhausts.
+func (it *Iter) skipDead() {
+	for it.merged.Valid() {
+		if it.hi != nil && bytes.Compare(it.merged.Key(), it.hi) >= 0 {
+			it.merged.cur = -1 // past the bound: exhaust without erroring
+			return
+		}
+		if v := it.merged.Value(); len(v) > 0 && v[0] == tagValue {
+			return
+		}
+		it.merged.Next()
+	}
+}
+
+// Valid reports whether the iterator is positioned at a live entry.
+func (it *Iter) Valid() bool { return !it.closed && it.merged.Valid() }
+
+// Key returns the current key; valid until the next Next or Close.
+func (it *Iter) Key() []byte { return it.merged.Key() }
+
+// Value returns the current live value (tag stripped); valid until the
+// next Next or Close.
+func (it *Iter) Value() []byte { return it.merged.Value()[1:] }
+
+// Next advances to the following live entry.
+func (it *Iter) Next() {
+	if !it.Valid() {
+		return
+	}
+	it.merged.Next()
+	it.skipDead()
+}
+
+// Error returns the first source error encountered.
+func (it *Iter) Error() error { return it.merged.Error() }
+
+// Close releases the pinned snapshot. Safe to call more than once.
+func (it *Iter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	for _, t := range it.held {
+		t.release()
+	}
+	it.held = nil
+	return it.merged.Error()
+}

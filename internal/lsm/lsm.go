@@ -17,7 +17,6 @@
 package lsm
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -764,53 +763,20 @@ type Entry struct {
 
 // Scan returns all live entries with lo <= key < hi in ascending order,
 // calling fn for each. fn's slices are only valid during the call. A nil hi
-// scans to the end of the keyspace.
+// scans to the end of the keyspace. Scan is a materializing loop over
+// NewIterator and shares its snapshot semantics.
 func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
-	if hi != nil && bytes.Compare(lo, hi) > 0 {
-		return ErrBadRange
+	it, err := s.NewIterator(lo, hi)
+	if err != nil {
+		return err
 	}
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return ErrClosed
-	}
-	sources := make([]iterator, 0, 2+len(s.tables))
-	ait := s.active.NewIterator()
-	ait.Seek(lo)
-	sources = append(sources, memIter{ait})
-	if s.imm != nil {
-		iit := s.imm.NewIterator()
-		iit.Seek(lo)
-		sources = append(sources, memIter{iit})
-	}
-	held := append([]*tableHandle(nil), s.tables...)
-	for _, t := range held {
-		t.acquire()
-		it := t.reader.NewIterator()
-		it.Seek(lo)
-		sources = append(sources, it)
-	}
-	s.mu.RUnlock()
-	defer func() {
-		for _, t := range held {
-			t.release()
+	defer it.Close()
+	for ; it.Valid(); it.Next() {
+		if err := fn(it.Key(), it.Value()); err != nil {
+			return err
 		}
-	}()
-	s.scans.Add(1)
-
-	merged := newMergeIterator(sources)
-	for merged.Valid() {
-		if hi != nil && bytes.Compare(merged.Key(), hi) >= 0 {
-			break
-		}
-		if v := merged.Value(); len(v) > 0 && v[0] == tagValue {
-			if err := fn(merged.Key(), v[1:]); err != nil {
-				return err
-			}
-		}
-		merged.Next()
 	}
-	return merged.Error()
+	return it.Error()
 }
 
 // Stats returns a snapshot of cumulative counters.

@@ -112,15 +112,33 @@ func (r *Region) Get(key []byte) ([]byte, bool, error) {
 	return r.store.Get(key)
 }
 
-// Scan iterates live entries in [lo, hi) clipped to the region bounds.
-func (r *Region) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
+// clampRange clips a scan range to the region bounds.
+func (r *Region) clampRange(lo, hi []byte) (clo, chi []byte) {
 	if r.info.StartKey != nil && (lo == nil || bytes.Compare(lo, r.info.StartKey) < 0) {
 		lo = r.info.StartKey
 	}
 	if r.info.EndKey != nil && (hi == nil || bytes.Compare(hi, r.info.EndKey) > 0) {
 		hi = r.info.EndKey
 	}
+	return lo, hi
+}
+
+// Scan iterates live entries in [lo, hi) clipped to the region bounds.
+func (r *Region) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
+	lo, hi = r.clampRange(lo, hi)
 	return r.store.Scan(lo, hi, fn)
+}
+
+// NewIterator opens a streaming snapshot iterator over [lo, hi) clipped to
+// the region bounds. The iterator pins the store snapshot captured here —
+// it survives concurrent flushes and compactions — and must be closed.
+func (r *Region) NewIterator(lo, hi []byte) (*lsm.Iter, error) {
+	lo, hi = r.clampRange(lo, hi)
+	it, err := r.store.NewIterator(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("region %s: %w", r.info.Name, err)
+	}
+	return it, nil
 }
 
 // SizeBytes approximates the region's unflushed data volume.

@@ -34,6 +34,27 @@ func (d clientDB) Scan(lo, hi []byte, limit int) ([]ycsb.KV, error) {
 	return out, nil
 }
 
+// ScanIter implements ycsb.DB over the client's streaming Scanner: rows
+// arrive chunk by chunk from the server-side scanner sessions, so the
+// binding holds O(chunk) memory however large the range is.
+func (d clientDB) ScanIter(lo, hi []byte, limit int) (ycsb.RowIter, error) {
+	sc, err := d.c.NewScanner(lo, hi, limit)
+	if err != nil {
+		return nil, err
+	}
+	return scannerIter{sc: sc}, nil
+}
+
+// scannerIter adapts hbase.Scanner to ycsb.RowIter.
+type scannerIter struct{ sc *hbase.Scanner }
+
+func (it scannerIter) Next() (ycsb.KV, bool, error) {
+	row, ok, err := it.sc.Next()
+	return ycsb.KV{Key: row.Key, Value: row.Value}, ok, err
+}
+
+func (it scannerIter) Close() error { return it.sc.Close() }
+
 // Close implements ycsb.DB, flushing buffered writes.
 func (d clientDB) Close() error { return d.c.Close() }
 
@@ -96,6 +117,47 @@ func (d storeDB) Scan(lo, hi []byte, limit int) ([]ycsb.KV, error) {
 	}
 	return out, err
 }
+
+// ScanIter implements ycsb.DB directly over the engine's snapshot-pinned
+// iterator — the zero-copy embedded path: rows are borrowed from the LSM
+// snapshot until the next call, exactly the RowIter contract.
+func (d storeDB) ScanIter(lo, hi []byte, limit int) (ycsb.RowIter, error) {
+	it, err := d.s.NewIterator(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &lsmIter{it: it, limited: limit > 0, remaining: limit}, nil
+}
+
+// lsmIter adapts lsm.Iter to ycsb.RowIter with a client-side row limit.
+type lsmIter struct {
+	it        *lsm.Iter
+	started   bool
+	limited   bool
+	remaining int
+}
+
+func (l *lsmIter) Next() (ycsb.KV, bool, error) {
+	if l.limited && l.remaining <= 0 {
+		return ycsb.KV{}, false, nil
+	}
+	// Advance lazily so the previously returned borrowed slices stay valid
+	// until this call, per the RowIter contract.
+	if l.started {
+		l.it.Next()
+	} else {
+		l.started = true
+	}
+	if !l.it.Valid() {
+		return ycsb.KV{}, false, l.it.Error()
+	}
+	if l.limited {
+		l.remaining--
+	}
+	return ycsb.KV{Key: l.it.Key(), Value: l.it.Value()}, true, nil
+}
+
+func (l *lsmIter) Close() error { return l.it.Close() }
 
 // Close implements ycsb.DB; the store is shared, so this is a no-op.
 func (d storeDB) Close() error { return nil }

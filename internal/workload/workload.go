@@ -145,38 +145,62 @@ func (r QueryResult) Value() float64 {
 	}
 }
 
-// aggregateRows computes an Aggregate from scanned rows.
-func aggregateRows(rows []ycsb.KV) (Aggregate, error) {
+// aggregateRow folds one reading into the running aggregate. sum carries
+// the mean's accumulator between calls; finishAggregate settles it.
+func aggregateRow(agg *Aggregate, sum *float64, value []byte) error {
+	val, err := kvp.DecodeValue(value)
+	if err != nil {
+		return fmt.Errorf("workload: bad stored value: %w", err)
+	}
+	f, err := strconv.ParseFloat(val.Reading, 64)
+	if err != nil {
+		return fmt.Errorf("workload: non-numeric reading %q: %w", val.Reading, err)
+	}
+	if agg.Rows == 0 || f > agg.Max {
+		agg.Max = f
+	}
+	if agg.Rows == 0 || f < agg.Min {
+		agg.Min = f
+	}
+	*sum += f
+	agg.Rows++
+	return nil
+}
+
+// scanAggregate streams one 5-second interval through the binding's
+// iterator and folds each row as it arrives: the query holds O(chunk)
+// memory however many readings the interval contains, instead of
+// materializing the whole interval before aggregating.
+func scanAggregate(db ycsb.DB, lo, hi []byte) (Aggregate, error) {
+	it, err := db.ScanIter(lo, hi, 0)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	defer it.Close()
 	var agg Aggregate
 	sum := 0.0
-	for _, row := range rows {
-		val, err := kvp.DecodeValue(row.Value)
+	for {
+		row, ok, err := it.Next()
 		if err != nil {
-			return Aggregate{}, fmt.Errorf("workload: bad stored value: %w", err)
+			return Aggregate{}, err
 		}
-		f, err := strconv.ParseFloat(val.Reading, 64)
-		if err != nil {
-			return Aggregate{}, fmt.Errorf("workload: non-numeric reading %q: %w", val.Reading, err)
+		if !ok {
+			break
 		}
-		if agg.Rows == 0 || f > agg.Max {
-			agg.Max = f
+		if err := aggregateRow(&agg, &sum, row.Value); err != nil {
+			return Aggregate{}, err
 		}
-		if agg.Rows == 0 || f < agg.Min {
-			agg.Min = f
-		}
-		sum += f
-		agg.Rows++
 	}
 	if agg.Rows > 0 {
 		agg.Avg = sum / float64(agg.Rows)
 	}
-	return agg, nil
+	return agg, it.Close()
 }
 
 // RunQuery executes one dashboard query template against db at time now:
-// two range scans (recent and historical 5 s intervals for one sensor of
-// one substation) plus the aggregation. Exported so examples and the query
-// tooling can issue standalone dashboard queries.
+// two streaming range scans (recent and historical 5 s intervals for one
+// sensor of one substation) with on-the-fly aggregation. Exported so
+// examples and the query tooling can issue standalone dashboard queries.
 func RunQuery(db ycsb.DB, kind QueryKind, substation, sensor string,
 	now time.Time, histStart time.Time) (QueryResult, error) {
 
@@ -184,22 +208,15 @@ func RunQuery(db ycsb.DB, kind QueryKind, substation, sensor string,
 
 	nowMS := now.UnixMilli()
 	lo, hi := kvp.RangeFor(substation, sensor, nowMS-RecentWindow.Milliseconds(), nowMS)
-	rows, err := db.Scan(lo, hi, 0)
-	if err != nil {
+	var err error
+	if res.Recent, err = scanAggregate(db, lo, hi); err != nil {
 		return res, fmt.Errorf("workload: recent scan: %w", err)
-	}
-	if res.Recent, err = aggregateRows(rows); err != nil {
-		return res, err
 	}
 
 	hs := histStart.UnixMilli()
 	lo, hi = kvp.RangeFor(substation, sensor, hs, hs+RecentWindow.Milliseconds())
-	rows, err = db.Scan(lo, hi, 0)
-	if err != nil {
+	if res.Historical, err = scanAggregate(db, lo, hi); err != nil {
 		return res, fmt.Errorf("workload: historical scan: %w", err)
-	}
-	if res.Historical, err = aggregateRows(rows); err != nil {
-		return res, err
 	}
 	return res, nil
 }

@@ -79,6 +79,16 @@ func (m *MemDB) Scan(lo, hi []byte, limit int) ([]KV, error) {
 	return out, nil
 }
 
+// ScanIter implements DB by materializing under the lock and streaming the
+// copy — the reference binding has no streaming backend.
+func (m *MemDB) ScanIter(lo, hi []byte, limit int) (RowIter, error) {
+	rows, err := m.Scan(lo, hi, limit)
+	if err != nil {
+		return nil, err
+	}
+	return SliceIter(rows), nil
+}
+
 // Len returns the number of stored records.
 func (m *MemDB) Len() int {
 	m.mu.RLock()

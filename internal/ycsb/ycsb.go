@@ -38,11 +38,46 @@ type DB interface {
 	Insert(key, value []byte) error
 	// Read fetches one key.
 	Read(key []byte) (value []byte, found bool, err error)
-	// Scan returns rows with lo <= key < hi, at most limit (0 = unlimited).
+	// Scan returns rows with lo <= key < hi, at most limit (0 = unlimited),
+	// materialized as one slice.
 	Scan(lo, hi []byte, limit int) ([]KV, error)
+	// ScanIter streams the same rows one at a time, in O(1) binding-side
+	// memory for backends with a streaming scan path. The caller must
+	// Close the iterator.
+	ScanIter(lo, hi []byte, limit int) (RowIter, error)
 	// Close releases the binding.
 	Close() error
 }
+
+// RowIter streams scan rows in key order. Next returns ok=false with a nil
+// error when the scan is exhausted. The returned KV's slices are only valid
+// until the following Next or Close call — callers that retain rows must
+// copy them. A RowIter serves a single goroutine and must be closed.
+type RowIter interface {
+	Next() (kv KV, ok bool, err error)
+	Close() error
+}
+
+// SliceIter adapts a materialized row slice to RowIter, for bindings whose
+// backend has no streaming scan (rows are owned, so they stay valid across
+// calls).
+func SliceIter(rows []KV) RowIter { return &sliceIter{rows: rows} }
+
+type sliceIter struct {
+	rows []KV
+	i    int
+}
+
+func (s *sliceIter) Next() (KV, bool, error) {
+	if s.i >= len(s.rows) {
+		return KV{}, false, nil
+	}
+	kv := s.rows[s.i]
+	s.i++
+	return kv, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
 
 // Binding creates one DB connection per worker thread.
 type Binding func(thread int) (DB, error)
