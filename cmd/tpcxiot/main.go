@@ -17,7 +17,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync"
+	"syscall"
 	"time"
 
 	"tpcxiot/internal/driver"
@@ -46,7 +49,11 @@ func main() {
 		telemetryOn  = flag.Bool("telemetry", false, "collect engine counters, op-path spans and a per-interval time series")
 		telemetryInt = flag.Duration("telemetry-interval", 10*time.Second, "telemetry sampling period")
 		telemetryCSV = flag.String("telemetry-csv", "", "write the telemetry time series to this CSV file (default results/telemetry-<pid>.csv when -telemetry is on)")
-		telemetryAdr = flag.String("telemetry-addr", "", "serve /metrics (JSON) and /debug/pprof on this address, e.g. localhost:6060 (implies -telemetry)")
+		telemetryAdr = flag.String("telemetry-addr", "", "serve /metrics (JSON), /trace (Chrome trace JSON) and /debug/pprof on this address, e.g. localhost:6060 (implies -telemetry)")
+		traceSample  = flag.Int("trace-sample", 1024, "sample one in N client operations into distributed traces when telemetry is on (1 traces everything)")
+		slowopMs     = flag.Float64("slowop-ms", -1, "log the full span tree of sampled operations slower than this many ms (0 logs every sampled op; negative disables)")
+		eventsPath   = flag.String("events", "", "write structured JSONL engine events to this file (default stderr when telemetry is on)")
+		traceJSON    = flag.String("trace-json", "", "write sampled traces as Chrome trace-event JSON to this file at exit (default results/trace-<pid>.json when tracing is on)")
 	)
 	flag.Parse()
 
@@ -61,33 +68,63 @@ func main() {
 	}
 
 	// Telemetry: one registry shared by the cluster (engine counters, put
-	// spans) and the driver (op histograms, the interval ticker).
+	// spans) and the driver (op histograms, the interval ticker), plus a
+	// tracer sampling client operations into distributed traces and a
+	// structured event logger for the engine.
 	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	var elog *telemetry.Logger
 	if *telemetryOn || *telemetryAdr != "" {
 		reg = telemetry.NewRegistry()
 		if *telemetryCSV == "" {
 			*telemetryCSV = filepath.Join("results", fmt.Sprintf("telemetry-%d.csv", os.Getpid()))
 		}
+		eventsW := os.Stderr
+		if *eventsPath != "" {
+			if err := os.MkdirAll(filepath.Dir(*eventsPath), 0o755); err != nil {
+				log.Fatal(err)
+			}
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			eventsW = f
+		}
+		elog = telemetry.NewLogger(eventsW, telemetry.LevelInfo).Instrument(reg)
+		if *traceSample > 0 {
+			tracer = telemetry.NewTracer(telemetry.TracerOptions{
+				SampleEvery:     *traceSample,
+				SlowOpThreshold: time.Duration(*slowopMs * float64(time.Millisecond)),
+				SlowOpDisabled:  *slowopMs < 0,
+				Logger:          elog,
+			})
+			if *traceJSON == "" {
+				*traceJSON = filepath.Join("results", fmt.Sprintf("trace-%d.json", os.Getpid()))
+			}
+		}
 	}
 	if *telemetryAdr != "" {
-		srv, addr, err := telemetry.Serve(*telemetryAdr, reg)
+		srv, addr, err := telemetry.ServeTraced(*telemetryAdr, reg, tracer)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("telemetry: /metrics and /debug/pprof on http://%s", addr)
+		log.Printf("telemetry: /metrics, /trace and /debug/pprof on http://%s", addr)
 	}
 
-	sync := wal.SyncNever
+	walSync := wal.SyncNever
 	if *durable {
-		sync = wal.SyncOnAppend
+		walSync = wal.SyncOnAppend
 	}
 	cluster, err := hbase.NewCluster(hbase.Config{
 		Nodes:        *nodes,
 		HandlerCount: *handlers,
 		DataDir:      dir,
-		Store:        lsm.Options{WALSync: sync},
+		Store:        lsm.Options{WALSync: walSync},
 		Registry:     reg,
+		Tracer:       tracer,
+		Logger:       elog,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,6 +141,34 @@ func main() {
 		}
 	}
 
+	// On SIGINT/SIGTERM, flush what telemetry exists — the in-flight
+	// interval series and the trace buffer — before exiting, so an
+	// interrupted run still leaves its observability artifacts behind.
+	var tickerMu sync.Mutex
+	var liveTicker *telemetry.Ticker
+	if reg != nil {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			log.Printf("interrupted: flushing telemetry")
+			tickerMu.Lock()
+			t := liveTicker
+			tickerMu.Unlock()
+			if t != nil {
+				if s := t.Snapshot(); len(s.Points) > 0 {
+					if err := writeOneSeriesCSV(*telemetryCSV, s); err != nil {
+						log.Printf("telemetry: csv export: %v", err)
+					} else {
+						log.Printf("telemetry: partial series written to %s", *telemetryCSV)
+					}
+				}
+			}
+			flushTraceJSON(*traceJSON, tracer)
+			os.Exit(130)
+		}()
+	}
+
 	res, err := driver.Run(driver.Config{
 		Drivers:            *drivers,
 		TotalKVPs:          *kvps,
@@ -115,6 +180,12 @@ func main() {
 		StatusInterval:     *status,
 		Telemetry:          reg,
 		TelemetryInterval:  *telemetryInt,
+		Tracer:             tracer,
+		OnTicker: func(t *telemetry.Ticker) {
+			tickerMu.Lock()
+			liveTicker = t
+			tickerMu.Unlock()
+		},
 		Logf: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
@@ -131,9 +202,56 @@ func main() {
 			log.Printf("telemetry: csv export: %v", err)
 		}
 	}
+	flushTraceJSON(*traceJSON, tracer)
 	if !res.Valid() {
 		os.Exit(2)
 	}
+}
+
+// flushTraceJSON exports the tracer's completed-trace buffer as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
+func flushTraceJSON(path string, tracer *telemetry.Tracer) {
+	if tracer == nil || path == "" {
+		return
+	}
+	traces := tracer.Traces()
+	if len(traces) == 0 {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		log.Printf("telemetry: trace export: %v", err)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("telemetry: trace export: %v", err)
+		return
+	}
+	err = telemetry.WriteChromeTrace(f, traces)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Printf("telemetry: trace export: %v", err)
+		return
+	}
+	log.Printf("telemetry: %d sampled trace(s) written to %s", len(traces), path)
+}
+
+// writeOneSeriesCSV writes a single series snapshot to path.
+func writeOneSeriesCSV(path string, s *telemetry.Series) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeSeriesCSVs exports each iteration's measured-run time series. With

@@ -97,6 +97,15 @@ type Config struct {
 	// TelemetryInterval is the sampling period. Defaults to 10 s, the YCSB
 	// status-line default.
 	TelemetryInterval time.Duration
+	// Tracer, when non-nil, is the distributed-trace sampler shared with the
+	// SUT's clients. The driver itself never starts spans; it drains the
+	// tracer's slow-trace list into the Result so the report can render the
+	// slowest operations' span trees.
+	Tracer *telemetry.Tracer
+	// OnTicker, when set, receives each execution's live telemetry ticker
+	// right after it starts — the hook a signal handler uses to snapshot the
+	// in-flight interval series on interrupt.
+	OnTicker func(*telemetry.Ticker)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -235,6 +244,10 @@ type Result struct {
 	// Telemetry is the final cumulative registry summary (counters, gauges
 	// and span histograms across the whole run); nil when disabled.
 	Telemetry *telemetry.Summary
+	// SlowTraces holds the span trees of the slowest sampled operations
+	// (those exceeding the tracer's slow-op threshold); nil when tracing is
+	// disabled.
+	SlowTraces []*telemetry.Trace
 }
 
 // Checks flattens every checklist in the result.
@@ -338,6 +351,7 @@ func Run(cfg Config) (*Result, error) {
 				c.RepeatabilityTolerance))
 	}
 	res.Telemetry = c.Telemetry.Summary()
+	res.SlowTraces = c.Tracer.SlowTraces()
 	return res, nil
 }
 
@@ -369,6 +383,9 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 			c.Logf("telemetry %s", p)
 		})
 		ticker.Start()
+		if c.OnTicker != nil {
+			c.OnTicker(ticker)
+		}
 	}
 
 	start := c.Now()

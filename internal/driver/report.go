@@ -2,6 +2,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -32,12 +33,16 @@ func (r *Result) Report() string {
 			minT.Seconds(), maxT.Seconds(), avgT.Seconds())
 		if ins := it.Measured.InsertLatency; ins.Count() > 0 {
 			fmt.Fprintf(&b, "  insert latency (ns): %s\n", ins)
+			fmt.Fprintf(&b, "  insert tail: p99 %.2fms  p99.9 %.2fms\n",
+				msI(ins.Percentile(99)), msI(ins.Percentile(99.9)))
 		}
 		if q := it.Measured.QueryLatency; q.Count() > 0 {
 			fmt.Fprintf(&b, "  query latency (ns):  %s\n", q)
 			fmt.Fprintf(&b, "  queries: %d  avg %.1fms  min %.1fms  max %.1fms  p95 %.1fms  cv %.2f\n",
 				q.Count(), ms(q.Mean()), msI(q.Min()), msI(q.Max()),
 				msI(q.Percentile(95)), q.CV())
+			fmt.Fprintf(&b, "  query tail: p99 %.2fms  p99.9 %.2fms\n",
+				msI(q.Percentile(99)), msI(q.Percentile(99.9)))
 			fmt.Fprintf(&b, "  readings aggregated per query: %.1f\n", it.Measured.AvgRowsPerQuery())
 		}
 		writeSeries(&b, it.Measured.Series)
@@ -45,6 +50,7 @@ func (r *Result) Report() string {
 	}
 
 	writeTelemetry(&b, r.Telemetry)
+	writeSlowTraces(&b, r.SlowTraces)
 
 	fmt.Fprintf(&b, "Primary metrics\n---------------\n")
 	if iotps, err := r.Metric.IoTps(); err == nil {
@@ -131,6 +137,106 @@ func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
 			float64(counterValue(t, "hbase.scan_rows_streamed"))/float64(chunks),
 			counterValue(t, "hbase.scanner_opens"),
 			counterValue(t, "hbase.scanner_lease_expiries"))
+	}
+	if le := counterValue(t, "hbase.scanner_lease_expiries"); le > 0 {
+		fmt.Fprintf(b, "  WARNING: %d scanner lease(s) expired mid-scan — queries may have\n"+
+			"  stalled past the lease timeout; check the slow-trace section.\n", le)
+	}
+	writeRegionTable(b, t)
+	fmt.Fprintf(b, "\n")
+}
+
+// regionColumns are the per-region engine counters tabulated in the report,
+// in write-path order.
+var regionColumns = []string{"lsm.batch_applies", "lsm.flushes", "lsm.write_stalls"}
+
+// writeRegionTable renders the per-region breakdown parsed out of tagged
+// counter names (lsm.batch_applies{region=...,server=...} and friends).
+func writeRegionTable(b *strings.Builder, t *telemetry.Summary) {
+	type row struct {
+		server string
+		vals   map[string]int64
+	}
+	rows := map[string]*row{}
+	var names []string
+	for _, c := range t.Counters {
+		base, tags := telemetry.SplitTagged(c.Name)
+		var region, server string
+		for _, tag := range tags {
+			switch tag.Key {
+			case "region":
+				region = tag.Value
+			case "server":
+				server = tag.Value
+			}
+		}
+		if region == "" {
+			continue
+		}
+		r, ok := rows[region]
+		if !ok {
+			r = &row{server: server, vals: map[string]int64{}}
+			rows[region] = r
+			names = append(names, region)
+		}
+		r.vals[base] += c.Value
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "  per-region engine activity:\n")
+	fmt.Fprintf(b, "    %-16s %-6s %14s %10s %10s\n",
+		"region", "server", "batch_applies", "flushes", "stalls")
+	for _, name := range names {
+		r := rows[name]
+		fmt.Fprintf(b, "    %-16s %-6s %14d %10d %10d\n", name, r.server,
+			r.vals[regionColumns[0]], r.vals[regionColumns[1]], r.vals[regionColumns[2]])
+	}
+}
+
+// slowTracePrintCap bounds the slow traces rendered in the report.
+const slowTracePrintCap = 5
+
+// writeSlowTraces renders the span trees of the slowest sampled operations:
+// each trace as an indented tree, children ordered by start time, with
+// per-span service attribution — where a slow put actually spent its time.
+func writeSlowTraces(b *strings.Builder, traces []*telemetry.Trace) {
+	if len(traces) == 0 {
+		return
+	}
+	sorted := append([]*telemetry.Trace(nil), traces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Duration() > sorted[j].Duration() })
+	n := len(sorted)
+	if n > slowTracePrintCap {
+		n = slowTracePrintCap
+	}
+	fmt.Fprintf(b, "Slow traces\n-----------\n")
+	fmt.Fprintf(b, "  %d operation(s) exceeded the slow-op threshold; slowest %d:\n", len(sorted), n)
+	for _, tr := range sorted[:n] {
+		root := tr.Root()
+		if root.SpanID == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "  trace %016x (%.2fms):\n", root.TraceID, float64(tr.Duration())/float64(time.Millisecond))
+		children := map[uint64][]telemetry.SpanRecord{}
+		for _, s := range tr.Spans {
+			if s.SpanID != root.SpanID {
+				children[s.ParentID] = append(children[s.ParentID], s)
+			}
+		}
+		var render func(s telemetry.SpanRecord, depth int)
+		render = func(s telemetry.SpanRecord, depth int) {
+			fmt.Fprintf(b, "    %s%-*s %10.3fms  [%s]\n",
+				strings.Repeat("  ", depth), 28-2*depth, s.Name,
+				float64(s.DurNs)/1e6, s.Service)
+			kids := children[s.SpanID]
+			sort.Slice(kids, func(i, j int) bool { return kids[i].StartNs < kids[j].StartNs })
+			for _, k := range kids {
+				render(k, depth+1)
+			}
+		}
+		render(root, 0)
 	}
 	fmt.Fprintf(b, "\n")
 }

@@ -18,8 +18,9 @@ var ErrClientClosed = errors.New("hbase: client is closed")
 // concurrent use — create one per worker goroutine, exactly as YCSB binds
 // one HBase client per driver thread.
 type Client struct {
-	table *Table
-	rpc   transport
+	table  *Table
+	rpc    transport
+	tracer *telemetry.Tracer // nil disables tracing
 
 	// WriteBufferBytes is the autoflush threshold. Non-positive disables
 	// buffering (every Put flushes immediately).
@@ -58,6 +59,7 @@ func (cl *Cluster) newClient(tableName string, writeBufferBytes int64, rpc trans
 	return &Client{
 		table:            t,
 		rpc:              rpc,
+		tracer:           cl.cfg.Tracer,
 		writeBufferBytes: writeBufferBytes,
 		buffers:          make(map[*tableRegion][]Mutation),
 		flushesC:         cl.cfg.Registry.Counter("hbase.buffer_flushes"),
@@ -65,20 +67,28 @@ func (cl *Cluster) newClient(tableName string, writeBufferBytes int64, rpc trans
 	}, nil
 }
 
-// Put buffers a write. The key and value are copied.
+// Put buffers a write. The key and value are copied. When the put is the
+// sampled one, its whole span tree — buffer, flush, RPC, and the server-side
+// engine work stitched back from the response — lands in the tracer.
 func (c *Client) Put(key, value []byte) error {
-	return c.buffer(Mutation{
+	_, sp := c.tracer.StartTrace("client.put")
+	err := c.buffer(Mutation{
 		Key:   append([]byte(nil), key...),
 		Value: append([]byte(nil), value...),
-	})
+	}, sp)
+	sp.End()
+	return err
 }
 
 // Delete buffers a tombstone.
 func (c *Client) Delete(key []byte) error {
-	return c.buffer(Mutation{Key: append([]byte(nil), key...), Delete: true})
+	_, sp := c.tracer.StartTrace("client.delete")
+	err := c.buffer(Mutation{Key: append([]byte(nil), key...), Delete: true}, sp)
+	sp.End()
+	return err
 }
 
-func (c *Client) buffer(m Mutation) error {
+func (c *Client) buffer(m Mutation, sp telemetry.TSpan) error {
 	if c.closed {
 		return ErrClientClosed
 	}
@@ -86,7 +96,10 @@ func (c *Client) buffer(m Mutation) error {
 	c.buffers[tr] = append(c.buffers[tr], m)
 	c.buffered += int64(len(m.Key) + len(m.Value))
 	if c.buffered >= c.writeBufferBytes {
-		return c.FlushCommits()
+		fl := sp.Child("client.flush")
+		err := c.flushCommits(fl)
+		fl.End()
+		return err
 	}
 	return nil
 }
@@ -96,16 +109,23 @@ func (c *Client) buffer(m Mutation) error {
 // failed region's batch stays buffered, with BufferedBytes reflecting
 // exactly what remains — a later FlushCommits retries just the remainder.
 func (c *Client) FlushCommits() error {
+	_, sp := c.tracer.StartTrace("client.flush")
+	err := c.flushCommits(sp)
+	sp.End()
+	return err
+}
+
+func (c *Client) flushCommits(sp telemetry.TSpan) error {
 	if c.closed {
 		return ErrClientClosed
 	}
-	sp := c.flushSpan.Start()
+	tsp := c.flushSpan.Start()
 	for tr := range c.buffers {
-		if err := c.flushRegion(tr); err != nil {
+		if err := c.flushRegion(tr, sp); err != nil {
 			return err
 		}
 	}
-	sp.End()
+	tsp.End()
 	c.flushesC.Inc()
 	return nil
 }
@@ -114,13 +134,16 @@ func (c *Client) FlushCommits() error {
 // region's buffer untouched. Reads flush this way: only the region being
 // read needs its writes visible, so a Get or Scan over one key range no
 // longer forces every region's batch out early.
-func (c *Client) flushRegion(tr *tableRegion) error {
+func (c *Client) flushRegion(tr *tableRegion, sp telemetry.TSpan) error {
 	batch := c.buffers[tr]
 	if len(batch) == 0 {
 		delete(c.buffers, tr)
 		return nil
 	}
-	if err := c.rpc.mutate(tr, batch); err != nil {
+	rpcSp := sp.Child("rpc.mutate")
+	err := c.rpc.mutate(tr, batch, rpcSp)
+	rpcSp.End()
+	if err != nil {
 		return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
 	}
 	c.buffered -= mutationBytes(batch)
@@ -148,13 +171,18 @@ func (c *Client) Get(key []byte) ([]byte, bool, error) {
 	if c.closed {
 		return nil, false, ErrClientClosed
 	}
+	_, sp := c.tracer.StartTrace("client.get")
+	defer sp.End()
 	tr := c.table.locate(key)
 	if len(c.buffers[tr]) > 0 {
-		if err := c.flushRegion(tr); err != nil {
+		if err := c.flushRegion(tr, sp); err != nil {
 			return nil, false, err
 		}
 	}
-	return c.rpc.get(tr, key)
+	gsp := sp.Child("rpc.get")
+	v, ok, err := c.rpc.get(tr, key, gsp)
+	gsp.End()
+	return v, ok, err
 }
 
 // Scan reads all rows with lo <= key < hi (nil hi scans to the table end)

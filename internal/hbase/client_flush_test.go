@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // failingTransport fails mutate RPCs for one region; everything else passes
@@ -14,11 +16,11 @@ type failingTransport struct {
 	err        error
 }
 
-func (f *failingTransport) mutate(tr *tableRegion, batch []Mutation) error {
+func (f *failingTransport) mutate(tr *tableRegion, batch []Mutation, sp telemetry.TSpan) error {
 	if tr.info.Name == f.failRegion {
 		return f.err
 	}
-	return f.inprocTransport.mutate(tr, batch)
+	return f.inprocTransport.mutate(tr, batch, sp)
 }
 
 // TestFlushCommitsPartialFailureAccounting: a mid-flush RPC failure must

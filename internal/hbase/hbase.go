@@ -66,6 +66,15 @@ type Config struct {
 	// groups ("replication.acks"), to clients ("hbase.buffer_flushes",
 	// "put.client_flush") and to splits ("region.splits").
 	Registry *telemetry.Registry
+	// Tracer, when non-nil, samples client operations into distributed
+	// traces: each sampled Put/Get/scan chunk yields one span tree covering
+	// client, RPC, server, region, LSM, WAL and replication work. Nil
+	// disables tracing entirely (zero per-op cost).
+	Tracer *telemetry.Tracer
+	// Logger, when non-nil, receives structured events from every region's
+	// engine (WAL replay warnings, flush/compaction failures). It is copied
+	// into Store.Logger unless one is already set.
+	Logger *telemetry.Logger
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -93,6 +102,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Store.Registry == nil {
 		c.Store.Registry = c.Registry
+	}
+	if c.Store.Logger == nil {
+		c.Store.Logger = c.Logger
 	}
 	return c, nil
 }

@@ -2,6 +2,8 @@ package hbase
 
 import (
 	"fmt"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // DefaultScanChunk is the number of rows fetched per scanner-session next
@@ -77,11 +79,13 @@ func (c *Client) NewScannerChunk(lo, hi []byte, limit, chunk int) (*Scanner, err
 		limited:   limit > 0,
 		remaining: limit,
 	}
+	_, sp := c.tracer.StartTrace("client.scan_setup")
+	defer sp.End()
 	for _, tr := range c.table.regions {
 		if !rangesOverlap(lo, hi, tr.info.StartKey, tr.info.EndKey) {
 			continue
 		}
-		if err := c.flushRegion(tr); err != nil {
+		if err := c.flushRegion(tr, sp); err != nil {
 			return nil, err
 		}
 		s.regions = append(s.regions, tr)
@@ -150,7 +154,11 @@ func (s *Scanner) fill() {
 		if s.limited {
 			lim = s.remaining
 		}
-		id, err := s.c.rpc.openScanner(tr, s.lo, s.hi, lim)
+		_, sp := s.c.tracer.StartTrace("client.scan_open")
+		osp := sp.Child("rpc.scan_open")
+		id, err := s.c.rpc.openScanner(tr, s.lo, s.hi, lim, osp)
+		osp.End()
+		sp.End()
 		if err != nil {
 			s.err = fmt.Errorf("hbase: scan %s: %w", tr.info.Name, err)
 			return
@@ -162,13 +170,19 @@ func (s *Scanner) fill() {
 }
 
 // prefetch launches the next chunk fetch. Exactly one fetch is ever in
-// flight, so the single-outstanding-request transport contract holds.
+// flight, so the single-outstanding-request transport contract holds. Each
+// chunk fetch is its own trace root — a sampled chunk carries the server's
+// scan_next spans beneath its rpc.scan_next span.
 func (s *Scanner) prefetch() {
 	ch := make(chan chunkResult, 1)
 	s.pre = ch
-	tr, id, chunk, rpc := s.regions[s.ri], s.id, s.chunk, s.c.rpc
+	tr, id, chunk, rpc, tracer := s.regions[s.ri], s.id, s.chunk, s.c.rpc, s.c.tracer
 	go func() {
-		rows, more, err := rpc.scanNext(tr, id, chunk)
+		_, sp := tracer.StartTrace("client.scan_chunk")
+		nsp := sp.Child("rpc.scan_next")
+		rows, more, err := rpc.scanNext(tr, id, chunk, nsp)
+		nsp.End()
+		sp.End()
 		ch <- chunkResult{rows: rows, more: more, err: err}
 	}()
 }
@@ -198,7 +212,7 @@ func (s *Scanner) Close() error {
 	s.drainPrefetch()
 	if s.open {
 		s.open = false
-		if err := s.c.rpc.closeScanner(s.regions[s.ri], s.id); err != nil {
+		if err := s.c.rpc.closeScanner(s.regions[s.ri], s.id, telemetry.TSpan{}); err != nil {
 			return err
 		}
 	}

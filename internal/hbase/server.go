@@ -3,6 +3,7 @@ package hbase
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ var ErrUnknownScanner = errors.New("hbase: unknown scanner (closed or lease expi
 type RegionServer struct {
 	id       int
 	dir      string
+	service  string // trace-span service label, e.g. "server-2"
 	handlers chan struct{}
 
 	mu      sync.RWMutex
@@ -51,6 +53,12 @@ type serverMetrics struct {
 	rowsStreamed  *telemetry.Counter // hbase.scan_rows_streamed
 	leaseExpiries *telemetry.Counter // hbase.scanner_lease_expiries
 	nextSpan      *telemetry.Timer   // scan.next: one chunk fetch
+
+	// Per-server tagged variants ({server=N}) of the scan counters, so the
+	// registry can break the read path down per region server. The untagged
+	// instruments above remain the cluster-wide roll-up.
+	scanChunksTagged   *telemetry.Counter
+	rowsStreamedTagged *telemetry.Counter
 }
 
 // scannerSession is one open server-side scanner. While a next call is
@@ -76,19 +84,23 @@ type ServerStats struct {
 }
 
 func newRegionServer(id int, dir string, handlerCount int, leaseDur time.Duration, reg *telemetry.Registry) *RegionServer {
+	serverTag := telemetry.Tag{Key: "server", Value: strconv.Itoa(id)}
 	return &RegionServer{
 		id:       id,
 		dir:      dir,
+		service:  "server-" + strconv.Itoa(id),
 		handlers: make(chan struct{}, handlerCount),
 		regions:  make(map[string]*region.Region),
 		scanners: make(map[uint64]*scannerSession),
 		leaseDur: leaseDur,
 		met: serverMetrics{
-			scannerOpens:  reg.Counter("hbase.scanner_opens"),
-			scanChunks:    reg.Counter("hbase.scan_chunks"),
-			rowsStreamed:  reg.Counter("hbase.scan_rows_streamed"),
-			leaseExpiries: reg.Counter("hbase.scanner_lease_expiries"),
-			nextSpan:      reg.Timer("scan.next"),
+			scannerOpens:       reg.Counter("hbase.scanner_opens"),
+			scanChunks:         reg.Counter("hbase.scan_chunks"),
+			rowsStreamed:       reg.Counter("hbase.scan_rows_streamed"),
+			leaseExpiries:      reg.Counter("hbase.scanner_lease_expiries"),
+			nextSpan:           reg.Timer("scan.next"),
+			scanChunksTagged:   reg.CounterTagged("hbase.scan_chunks", serverTag),
+			rowsStreamedTagged: reg.CounterTagged("hbase.scan_rows_streamed", serverTag),
 		},
 	}
 }
@@ -100,8 +112,14 @@ func (s *RegionServer) ID() int { return s.id }
 func (s *RegionServer) acquire() { s.handlers <- struct{}{} }
 func (s *RegionServer) release() { <-s.handlers }
 
-// openRegion creates or reopens a region replica on this server.
+// openRegion creates or reopens a region replica on this server. The
+// replica's store registers its instruments under {region=..., server=...}
+// tags in addition to the cluster-wide roll-up.
 func (s *RegionServer) openRegion(info region.Info, storeOpts lsm.Options) (*region.Region, error) {
+	storeOpts.Tags = []telemetry.Tag{
+		{Key: "region", Value: info.Name},
+		{Key: "server", Value: strconv.Itoa(s.id)},
+	}
 	r, err := region.Open(info, s.dir, storeOpts)
 	if err != nil {
 		return nil, fmt.Errorf("hbase: server %d: %w", s.id, err)
@@ -129,10 +147,22 @@ type Mutation = lsm.Write
 // batched round — one WAL group append and one memtable critical section
 // per replica, with the replica fan-out running in parallel.
 func (s *RegionServer) mutate(g *replication.Group, batch []Mutation) error {
+	return s.mutateTraced(g, batch, telemetry.TSpan{})
+}
+
+// mutateTraced is mutate under a trace span: the RPC appears as a
+// "server.mutate" span in this server's service, with a
+// "server.handler_wait" child covering time queued for a handler slot and
+// the replication/engine spans beneath.
+func (s *RegionServer) mutateTraced(g *replication.Group, batch []Mutation, parent telemetry.TSpan) error {
+	sp := parent.ChildIn(s.service, "server.mutate")
+	defer sp.End()
+	waitSp := sp.Child("server.handler_wait")
 	s.acquire()
+	waitSp.End()
 	defer s.release()
 	s.requests.Add(1)
-	if err := g.ApplyBatch(batch); err != nil {
+	if err := g.ApplyBatchTraced(sp, batch); err != nil {
 		return err
 	}
 	s.mutations.Add(int64(len(batch)))
@@ -141,7 +171,16 @@ func (s *RegionServer) mutate(g *replication.Group, batch []Mutation) error {
 
 // get is the server-side point-read RPC, served from the primary replica.
 func (s *RegionServer) get(r *region.Region, key []byte) ([]byte, bool, error) {
+	return s.getTraced(r, key, telemetry.TSpan{})
+}
+
+// getTraced is get under a trace span ("server.get").
+func (s *RegionServer) getTraced(r *region.Region, key []byte, parent telemetry.TSpan) ([]byte, bool, error) {
+	sp := parent.ChildIn(s.service, "server.get")
+	defer sp.End()
+	waitSp := sp.Child("server.handler_wait")
 	s.acquire()
+	waitSp.End()
 	defer s.release()
 	s.requests.Add(1)
 	v, ok, err := r.Get(key)
@@ -162,7 +201,16 @@ type Row struct {
 // [lo, hi) on the region and registers a leased session. limit <= 0 means
 // unlimited. The scanner id is only meaningful on this server.
 func (s *RegionServer) openScanner(r *region.Region, lo, hi []byte, limit int) (uint64, error) {
+	return s.openScannerTraced(r, lo, hi, limit, telemetry.TSpan{})
+}
+
+// openScannerTraced is openScanner under a trace span ("server.scan_open").
+func (s *RegionServer) openScannerTraced(r *region.Region, lo, hi []byte, limit int, parent telemetry.TSpan) (uint64, error) {
+	sp := parent.ChildIn(s.service, "server.scan_open")
+	defer sp.End()
+	waitSp := sp.Child("server.handler_wait")
 	s.acquire()
+	waitSp.End()
 	defer s.release()
 	s.requests.Add(1)
 	it, err := r.NewIterator(lo, hi)
@@ -187,7 +235,16 @@ func (s *RegionServer) openScanner(r *region.Region, lo, hi []byte, limit int) (
 // more=false means the scan is finished (bound, limit or error) and the
 // server has already closed the session.
 func (s *RegionServer) next(id uint64, chunk int) (rows []Row, more bool, err error) {
+	return s.nextTraced(id, chunk, telemetry.TSpan{})
+}
+
+// nextTraced is next under a trace span ("server.scan_next").
+func (s *RegionServer) nextTraced(id uint64, chunk int, parent telemetry.TSpan) (rows []Row, more bool, err error) {
+	tsp := parent.ChildIn(s.service, "server.scan_next")
+	defer tsp.End()
+	waitSp := tsp.Child("server.handler_wait")
 	s.acquire()
+	waitSp.End()
 	defer s.release()
 	s.requests.Add(1)
 	sp := s.met.nextSpan.Start()
@@ -246,6 +303,8 @@ func (s *RegionServer) next(id uint64, chunk int) (rows []Row, more bool, err er
 	s.rowsRead.Add(int64(n))
 	s.met.scanChunks.Inc()
 	s.met.rowsStreamed.Add(int64(n))
+	s.met.scanChunksTagged.Inc()
+	s.met.rowsStreamedTagged.Add(int64(n))
 	return rows, !finished, iterErr
 }
 

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // ErrNoTCP is returned when TCP clients are requested before ServeTCP.
@@ -96,10 +98,24 @@ func (cl *Cluster) serveConn(conn net.Conn, srv *RegionServer) {
 }
 
 // dispatch executes one request against the server and builds the response.
+// A sampled request (trace header present) gets its server-side work
+// collected in a joined trace whose spans are shipped back on the response
+// frame, right after the status, for client-side stitching.
 func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServer) {
 	fail := func(err error) {
 		resp.reset(statusErr)
 		resp.str(err.Error())
+	}
+	tctx, err := req.traceContext()
+	if err != nil {
+		fail(err)
+		return
+	}
+	rop := telemetry.JoinRemote(tctx)
+	parent := rop.RemoteParent(tctx)
+	ok := func() {
+		resp.reset(statusOK)
+		resp.spans(rop.TakeSpans())
 	}
 	regionName, err := req.str()
 	if err != nil {
@@ -142,11 +158,11 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 				Delete: del == 1,
 			})
 		}
-		if err := srv.mutate(tr.group, batch); err != nil {
+		if err := srv.mutateTraced(tr.group, batch, parent); err != nil {
 			fail(err)
 			return
 		}
-		resp.reset(statusOK)
+		ok()
 
 	case opGet:
 		key, err := req.bytes()
@@ -154,13 +170,13 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 			fail(err)
 			return
 		}
-		v, ok, err := srv.get(tr.replicas[0], key)
+		v, found, err := srv.getTraced(tr.replicas[0], key, parent)
 		if err != nil {
 			fail(err)
 			return
 		}
-		resp.reset(statusOK)
-		if ok {
+		ok()
+		if found {
 			resp.uvarint(1)
 			resp.bytes(v)
 		} else {
@@ -183,12 +199,12 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 			fail(err)
 			return
 		}
-		id, err := srv.openScanner(tr.replicas[0], lo, hi, int(limit))
+		id, err := srv.openScannerTraced(tr.replicas[0], lo, hi, int(limit), parent)
 		if err != nil {
 			fail(err)
 			return
 		}
-		resp.reset(statusOK)
+		ok()
 		resp.uvarint(id)
 
 	case opScanNext:
@@ -202,12 +218,12 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 			fail(err)
 			return
 		}
-		rows, more, err := srv.next(id, int(chunk))
+		rows, more, err := srv.nextTraced(id, int(chunk), parent)
 		if err != nil {
 			fail(err)
 			return
 		}
-		resp.reset(statusOK)
+		ok()
 		if more {
 			resp.uvarint(1)
 		} else {
@@ -229,7 +245,7 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 			fail(err)
 			return
 		}
-		resp.reset(statusOK)
+		ok()
 
 	default:
 		fail(fmt.Errorf("hbase: unknown opcode %d", req.op))

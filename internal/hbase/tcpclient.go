@@ -5,42 +5,48 @@ import (
 	"errors"
 	"fmt"
 	"net"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // transport is how a client reaches region servers: direct in-process calls
 // or the TCP wire protocol. Scans are sessions: openScanner pins a
 // server-side snapshot scanner, scanNext streams one chunk (more=false
 // means the server already closed the session), closeScanner abandons one
-// early.
+// early. Every call carries the client-side span to parent server work
+// under — inert for unsampled operations; the TCP transport propagates it
+// as the frame trace header and stitches the returned server spans back in.
 type transport interface {
-	mutate(tr *tableRegion, batch []Mutation) error
-	get(tr *tableRegion, key []byte) ([]byte, bool, error)
-	openScanner(tr *tableRegion, lo, hi []byte, limit int) (uint64, error)
-	scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, bool, error)
-	closeScanner(tr *tableRegion, id uint64) error
+	mutate(tr *tableRegion, batch []Mutation, sp telemetry.TSpan) error
+	get(tr *tableRegion, key []byte, sp telemetry.TSpan) ([]byte, bool, error)
+	openScanner(tr *tableRegion, lo, hi []byte, limit int, sp telemetry.TSpan) (uint64, error)
+	scanNext(tr *tableRegion, id uint64, chunk int, sp telemetry.TSpan) ([]Row, bool, error)
+	closeScanner(tr *tableRegion, id uint64, sp telemetry.TSpan) error
 	close() error
 }
 
 // inprocTransport calls the server methods directly (still handler-gated).
+// The span flows straight through — server spans land in the same trace
+// with no wire crossing.
 type inprocTransport struct{}
 
-func (inprocTransport) mutate(tr *tableRegion, batch []Mutation) error {
-	return tr.primary.mutate(tr.group, batch)
+func (inprocTransport) mutate(tr *tableRegion, batch []Mutation, sp telemetry.TSpan) error {
+	return tr.primary.mutateTraced(tr.group, batch, sp)
 }
 
-func (inprocTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
-	return tr.primary.get(tr.replicas[0], key)
+func (inprocTransport) get(tr *tableRegion, key []byte, sp telemetry.TSpan) ([]byte, bool, error) {
+	return tr.primary.getTraced(tr.replicas[0], key, sp)
 }
 
-func (inprocTransport) openScanner(tr *tableRegion, lo, hi []byte, limit int) (uint64, error) {
-	return tr.primary.openScanner(tr.replicas[0], lo, hi, limit)
+func (inprocTransport) openScanner(tr *tableRegion, lo, hi []byte, limit int, sp telemetry.TSpan) (uint64, error) {
+	return tr.primary.openScannerTraced(tr.replicas[0], lo, hi, limit, sp)
 }
 
-func (inprocTransport) scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, bool, error) {
-	return tr.primary.next(id, chunk)
+func (inprocTransport) scanNext(tr *tableRegion, id uint64, chunk int, sp telemetry.TSpan) ([]Row, bool, error) {
+	return tr.primary.nextTraced(id, chunk, sp)
 }
 
-func (inprocTransport) closeScanner(tr *tableRegion, id uint64) error {
+func (inprocTransport) closeScanner(tr *tableRegion, id uint64, sp telemetry.TSpan) error {
 	return tr.primary.closeScanner(id)
 }
 
@@ -99,7 +105,9 @@ func (t *tcpTransport) conn(srv *RegionServer) (*tcpConn, error) {
 
 // call sends the request frame and reads the response into resp. On
 // transport errors the connection is discarded so the next call redials.
-func (t *tcpTransport) call(srv *RegionServer, req *frameWriter, resp *frameReader) error {
+// For sampled operations the server's span block is parsed off the response
+// and stitched under sp's trace before any result field is read.
+func (t *tcpTransport) call(srv *RegionServer, req *frameWriter, resp *frameReader, sp telemetry.TSpan) error {
 	c, err := t.conn(srv)
 	if err != nil {
 		return err
@@ -128,13 +136,19 @@ func (t *tcpTransport) call(srv *RegionServer, req *frameWriter, resp *frameRead
 	if resp.op != statusOK {
 		return fail(fmt.Errorf("%w: status %d", ErrBadFrame, resp.op))
 	}
+	spans, err := resp.spans()
+	if err != nil {
+		return fail(err)
+	}
+	sp.AddRemoteSpans(spans)
 	return nil
 }
 
-func (t *tcpTransport) mutate(tr *tableRegion, batch []Mutation) error {
+func (t *tcpTransport) mutate(tr *tableRegion, batch []Mutation, sp telemetry.TSpan) error {
 	var req frameWriter
 	var resp frameReader
 	req.reset(opMutate)
+	req.trace(sp)
 	req.str(tr.info.Name)
 	req.uvarint(uint64(len(batch)))
 	for _, m := range batch {
@@ -146,16 +160,17 @@ func (t *tcpTransport) mutate(tr *tableRegion, batch []Mutation) error {
 		req.bytes(m.Key)
 		req.bytes(m.Value)
 	}
-	return t.call(tr.primary, &req, &resp)
+	return t.call(tr.primary, &req, &resp, sp)
 }
 
-func (t *tcpTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
+func (t *tcpTransport) get(tr *tableRegion, key []byte, sp telemetry.TSpan) ([]byte, bool, error) {
 	var req frameWriter
 	var resp frameReader
 	req.reset(opGet)
+	req.trace(sp)
 	req.str(tr.info.Name)
 	req.bytes(key)
-	if err := t.call(tr.primary, &req, &resp); err != nil {
+	if err := t.call(tr.primary, &req, &resp, sp); err != nil {
 		return nil, false, err
 	}
 	found, err := resp.uvarint()
@@ -172,28 +187,30 @@ func (t *tcpTransport) get(tr *tableRegion, key []byte) ([]byte, bool, error) {
 	return append([]byte(nil), v...), true, nil
 }
 
-func (t *tcpTransport) openScanner(tr *tableRegion, lo, hi []byte, limit int) (uint64, error) {
+func (t *tcpTransport) openScanner(tr *tableRegion, lo, hi []byte, limit int, sp telemetry.TSpan) (uint64, error) {
 	var req frameWriter
 	var resp frameReader
 	req.reset(opScanOpen)
+	req.trace(sp)
 	req.str(tr.info.Name)
 	req.optBytes(lo)
 	req.optBytes(hi)
 	req.uvarint(uint64(limit))
-	if err := t.call(tr.primary, &req, &resp); err != nil {
+	if err := t.call(tr.primary, &req, &resp, sp); err != nil {
 		return 0, err
 	}
 	return resp.uvarint()
 }
 
-func (t *tcpTransport) scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, bool, error) {
+func (t *tcpTransport) scanNext(tr *tableRegion, id uint64, chunk int, sp telemetry.TSpan) ([]Row, bool, error) {
 	var req frameWriter
 	var resp frameReader
 	req.reset(opScanNext)
+	req.trace(sp)
 	req.str(tr.info.Name)
 	req.uvarint(id)
 	req.uvarint(uint64(chunk))
-	if err := t.call(tr.primary, &req, &resp); err != nil {
+	if err := t.call(tr.primary, &req, &resp, sp); err != nil {
 		return nil, false, err
 	}
 	more, err := resp.uvarint()
@@ -222,13 +239,13 @@ func (t *tcpTransport) scanNext(tr *tableRegion, id uint64, chunk int) ([]Row, b
 	return rows, more == 1, nil
 }
 
-func (t *tcpTransport) closeScanner(tr *tableRegion, id uint64) error {
+func (t *tcpTransport) closeScanner(tr *tableRegion, id uint64, sp telemetry.TSpan) error {
 	var req frameWriter
 	var resp frameReader
 	req.reset(opScanClose)
 	req.str(tr.info.Name)
 	req.uvarint(id)
-	return t.call(tr.primary, &req, &resp)
+	return t.call(tr.primary, &req, &resp, sp)
 }
 
 func (t *tcpTransport) close() error {

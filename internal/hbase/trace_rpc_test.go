@@ -1,0 +1,195 @@
+package hbase
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/telemetry"
+	"tpcxiot/internal/wal"
+)
+
+// newTracedTCPCluster builds a TCP cluster that samples every client
+// operation into the returned tracer.
+func newTracedTCPCluster(t *testing.T, nodes int, splits [][]byte) (*Client, *telemetry.Tracer) {
+	t.Helper()
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{SampleEvery: 1})
+	cl, err := NewCluster(Config{
+		Nodes:   nodes,
+		DataDir: t.TempDir(),
+		Store:   lsm.Options{WALSync: wal.SyncNever},
+		Tracer:  tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.CreateTable("iot", splits); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ServeTCP(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.NewTCPClient("iot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, tracer
+}
+
+// traceByRoot finds the first completed trace whose root span has the name.
+func traceByRoot(tr *telemetry.Tracer, root string) *telemetry.Trace {
+	for _, trace := range tr.Traces() {
+		if trace.Root().Name == root {
+			return trace
+		}
+	}
+	return nil
+}
+
+// spanNames collects the set of span names in a trace.
+func spanNames(tr *telemetry.Trace) map[string]telemetry.SpanRecord {
+	out := make(map[string]telemetry.SpanRecord, len(tr.Spans))
+	for _, s := range tr.Spans {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// TestTCPPutTraceStitched is the acceptance test for the tracing tentpole:
+// one Put over the TCP wire protocol must yield a single stitched trace
+// whose client-side span tree contains the server's WAL and LSM child spans,
+// all sharing the client's trace id.
+func TestTCPPutTraceStitched(t *testing.T) {
+	c, tracer := newTracedTCPCluster(t, 3, nil)
+
+	if err := c.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	trace := traceByRoot(tracer, "client.put")
+	if trace == nil {
+		t.Fatalf("no client.put trace; have %d traces", len(tracer.Traces()))
+	}
+	names := spanNames(trace)
+	for _, want := range []string{
+		"client.put", "client.flush", "rpc.mutate", // client side
+		"server.mutate", "replication.fanout", // server side, shipped back
+		"region.apply", "lsm.apply_batch", "wal.append", "lsm.memtable_insert",
+	} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("trace missing span %q; has %v", want, keys(names))
+		}
+	}
+	root := trace.Root()
+	for name, s := range names {
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %q trace id %x, want %x", name, s.TraceID, root.TraceID)
+		}
+	}
+	// The server span parents under the client's RPC span: the tree is
+	// stitched, not two disjoint fragments.
+	if names["server.mutate"].ParentID != names["rpc.mutate"].SpanID {
+		t.Errorf("server.mutate parent %x, want rpc.mutate %x",
+			names["server.mutate"].ParentID, names["rpc.mutate"].SpanID)
+	}
+	if names["wal.append"].ParentID != names["lsm.apply_batch"].SpanID {
+		t.Errorf("wal.append parent %x, want lsm.apply_batch %x",
+			names["wal.append"].ParentID, names["lsm.apply_batch"].SpanID)
+	}
+	// Engine spans carry the region's service (node/region), not the client's.
+	if svc := names["lsm.apply_batch"].Service; !strings.Contains(svc, "/iot") {
+		t.Errorf("lsm.apply_batch service = %q, want node-NN/region", svc)
+	}
+
+	// The whole buffer must export as valid Chrome trace-event JSON.
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, tracer.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("chrome trace export is not valid JSON")
+	}
+}
+
+// TestTCPScanChunkTraced asserts each scanner chunk fetch produces its own
+// stitched trace containing the server's scan_next span.
+func TestTCPScanChunkTraced(t *testing.T) {
+	c, tracer := newTracedTCPCluster(t, 3, nil)
+	for i := 0; i < 64; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := c.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 64 {
+		t.Fatalf("scanned %d rows", len(rows))
+	}
+
+	trace := traceByRoot(tracer, "client.scan_chunk")
+	if trace == nil {
+		t.Fatal("no client.scan_chunk trace")
+	}
+	names := spanNames(trace)
+	for _, want := range []string{"client.scan_chunk", "rpc.scan_next", "server.scan_next"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("chunk trace missing span %q; has %v", want, keys(names))
+		}
+	}
+	if names["server.scan_next"].ParentID != names["rpc.scan_next"].SpanID {
+		t.Error("server.scan_next not parented under rpc.scan_next")
+	}
+}
+
+// TestInprocPutTraced asserts the in-process transport threads spans through
+// without a wire crossing: same tree shape as TCP, no span block involved.
+func TestInprocPutTraced(t *testing.T) {
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{SampleEvery: 1})
+	cl, err := NewCluster(Config{
+		Nodes:   3,
+		DataDir: t.TempDir(),
+		Store:   lsm.Options{WALSync: wal.SyncNever},
+		Tracer:  tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.CreateTable("iot", nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.NewClient("iot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	trace := traceByRoot(tracer, "client.put")
+	if trace == nil {
+		t.Fatal("no client.put trace")
+	}
+	names := spanNames(trace)
+	for _, want := range []string{"server.mutate", "replication.fanout", "lsm.apply_batch", "wal.append"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("in-process trace missing %q; has %v", want, keys(names))
+		}
+	}
+}
+
+func keys(m map[string]telemetry.SpanRecord) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // The cluster's clients can reach region servers two ways: direct
@@ -16,12 +18,16 @@ import (
 //
 //	uint32  payload length (little endian)
 //	byte    opcode (request) or status (response)
+//	byte    flags (trace header / span block present)
 //	payload fields, each length-prefixed with a uvarint
 //
-// Requests carry the region name followed by op-specific fields; responses
-// carry a status byte (statusOK/statusErr) and either results or an error
-// string. The protocol is deliberately minimal: one outstanding request
-// per connection, matching the one-client-per-worker-thread model.
+// Requests carry an optional trace header (trace id + parent span id, when
+// the operation is sampled), then the region name followed by op-specific
+// fields; responses carry a status byte (statusOK/statusErr), an optional
+// span block (the server-side spans of a sampled operation, shipped back
+// for client-side stitching), and either results or an error string. The
+// protocol is deliberately minimal: one outstanding request per connection,
+// matching the one-client-per-worker-thread model.
 
 // opcodes. Scans are a session of three ops (open, a next per chunk,
 // close), the wire form of the server's scanner sessions; the retired
@@ -41,6 +47,13 @@ const (
 	statusErr byte = 1
 )
 
+// frame flags. Requests use flagTrace (a trace header follows the flags
+// byte); responses use flagSpans (a span block follows the status).
+const (
+	flagTrace byte = 1 << 0
+	flagSpans byte = 1 << 1
+)
+
 // maxFrame bounds a single message (a scan of a full region easily fits).
 const maxFrame = 256 << 20
 
@@ -53,7 +66,45 @@ type frameWriter struct {
 }
 
 func (f *frameWriter) reset(op byte) {
-	f.buf = append(f.buf[:0], 0, 0, 0, 0, op)
+	f.buf = append(f.buf[:0], 0, 0, 0, 0, op, 0)
+}
+
+// flagsIdx locates the flags byte inside the writer's buffer (after the
+// 4-byte length prefix and the op/status byte).
+const flagsIdx = 5
+
+// trace writes the request trace header for a sampled operation. Must be
+// called immediately after reset, before any other field. A no-op for
+// untraced spans, so every request path can call it unconditionally.
+func (f *frameWriter) trace(sp telemetry.TSpan) {
+	ctx := sp.Context()
+	if !ctx.Sampled {
+		return
+	}
+	f.buf[flagsIdx] |= flagTrace
+	f.uvarint(ctx.TraceID)
+	f.uvarint(ctx.SpanID)
+}
+
+// spans writes the response span block: the server-side spans of a sampled
+// operation, shipped back for client-side stitching. Must be called
+// immediately after reset, before any result field. A no-op for an empty
+// slice. Trace ids are omitted — the client rewrites them on stitch.
+func (f *frameWriter) spans(spans []telemetry.SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	f.buf[flagsIdx] |= flagSpans
+	f.uvarint(uint64(len(spans)))
+	for i := range spans {
+		s := &spans[i]
+		f.uvarint(s.SpanID)
+		f.uvarint(s.ParentID)
+		f.uvarint(uint64(s.StartNs))
+		f.uvarint(uint64(s.DurNs))
+		f.str(s.Name)
+		f.str(s.Service)
+	}
 }
 
 func (f *frameWriter) bytes(b []byte) {
@@ -79,9 +130,10 @@ func (f *frameWriter) flush(w io.Writer) error {
 
 // frameReader parses one frame's payload.
 type frameReader struct {
-	op  byte
-	buf []byte
-	off int
+	op    byte
+	flags byte
+	buf   []byte
+	off   int
 }
 
 // readFrame reads a whole frame from r.
@@ -91,7 +143,7 @@ func (f *frameReader) readFrame(r io.Reader) error {
 		return err // io.EOF signals clean connection close
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n < 1 || n > maxFrame {
+	if n < 2 || n > maxFrame {
 		return fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
 	}
 	if cap(f.buf) < int(n) {
@@ -102,8 +154,69 @@ func (f *frameReader) readFrame(r io.Reader) error {
 		return fmt.Errorf("%w: truncated frame: %v", ErrBadFrame, err)
 	}
 	f.op = f.buf[0]
-	f.off = 1
+	f.flags = f.buf[1]
+	f.off = 2
 	return nil
+}
+
+// traceContext parses the request trace header, if present. Must be called
+// before any other field read.
+func (f *frameReader) traceContext() (telemetry.TraceContext, error) {
+	if f.flags&flagTrace == 0 {
+		return telemetry.TraceContext{}, nil
+	}
+	tid, err := f.uvarint()
+	if err != nil {
+		return telemetry.TraceContext{}, err
+	}
+	sid, err := f.uvarint()
+	if err != nil {
+		return telemetry.TraceContext{}, err
+	}
+	return telemetry.TraceContext{TraceID: tid, SpanID: sid, Sampled: true}, nil
+}
+
+// spans parses the response span block, if present. Must be called before
+// any result field read.
+func (f *frameReader) spans() ([]telemetry.SpanRecord, error) {
+	if f.flags&flagSpans == 0 {
+		return nil, nil
+	}
+	n, err := f.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024 // bound the pre-allocation; a bogus count fails below
+	}
+	out := make([]telemetry.SpanRecord, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		var s telemetry.SpanRecord
+		if s.SpanID, err = f.uvarint(); err != nil {
+			return nil, err
+		}
+		if s.ParentID, err = f.uvarint(); err != nil {
+			return nil, err
+		}
+		start, err := f.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dur, err := f.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		s.StartNs, s.DurNs = int64(start), int64(dur)
+		if s.Name, err = f.str(); err != nil {
+			return nil, err
+		}
+		if s.Service, err = f.str(); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 func (f *frameReader) bytes() ([]byte, error) {

@@ -75,6 +75,16 @@ type Options struct {
 	// registry is also handed to the store's WAL. A nil registry keeps the
 	// hot paths free of clock reads.
 	Registry *telemetry.Registry
+	// Tags, when non-empty, additionally registers the engine's counters
+	// and gauge under tagged names (e.g. "lsm.batch_applies{region=...,
+	// server=...}") so the shared registry can break activity down per
+	// region and per server. Untagged roll-ups keep updating alongside.
+	Tags []telemetry.Tag
+	// Logger, when non-nil, receives structured events from cold paths:
+	// recovery warnings (orphaned temp tables, torn WAL tails) and
+	// background flush/compaction failures that would otherwise be
+	// silently retried. Tags are attached to every event.
+	Logger *telemetry.Logger
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -132,7 +142,8 @@ type Store struct {
 	flushes, compactions, stalls atomic.Int64
 	batchApplies                 atomic.Int64
 
-	met storeMetrics
+	met  storeMetrics
+	elog *telemetry.Logger // structured event log; nil-safe
 }
 
 // storeMetrics holds the registry-backed instruments, resolved once at
@@ -146,6 +157,13 @@ type storeMetrics struct {
 	batchApplies *telemetry.Counter
 	memSpan      *telemetry.Timer // put.memstore: WAL-ack to memtable-visible
 	flushSpan    *telemetry.Timer // put.region_flush: memtable to table file
+
+	// Per-region tagged variants, resolved only when Options.Tags is set
+	// (nil — and thus free — otherwise). The untagged instruments above are
+	// the cluster-wide roll-up; these carry the region/server breakdown.
+	flushesTagged      *telemetry.Counter
+	stallsTagged       *telemetry.Counter
+	batchAppliesTagged *telemetry.Counter
 }
 
 // tableHandle pairs a reader with its file path. Handles are reference
@@ -217,13 +235,27 @@ func Open(opts Options) (*Store, error) {
 		flushSpan:    o.Registry.Timer("put.region_flush"),
 	}
 	o.Registry.Gauge("lsm.memtable_bytes", s.MemtableBytes)
+	if len(o.Tags) > 0 {
+		s.met.flushesTagged = o.Registry.CounterTagged("lsm.flushes", o.Tags...)
+		s.met.stallsTagged = o.Registry.CounterTagged("lsm.stalls", o.Tags...)
+		s.met.batchAppliesTagged = o.Registry.CounterTagged("lsm.batch_applies", o.Tags...)
+		o.Registry.GaugeTagged("lsm.memtable_bytes", s.MemtableBytes, o.Tags...)
+	}
+	s.elog = o.Logger
+	if s.elog != nil && len(o.Tags) > 0 {
+		fields := make([]telemetry.Field, len(o.Tags))
+		for i, t := range o.Tags {
+			fields[i] = telemetry.F(t.Key, t.Value)
+		}
+		s.elog = s.elog.With(fields...)
+	}
 
 	if err := s.loadTables(); err != nil {
 		return nil, err
 	}
 
 	// Recover unflushed writes from the log, then open it for appending.
-	if err := wal.Replay(filepath.Join(o.Dir, "wal"), func(rec []byte) error {
+	if err := wal.ReplayLog(filepath.Join(o.Dir, "wal"), s.elog, func(rec []byte) error {
 		return s.applyRecord(rec)
 	}); err != nil {
 		return nil, fmt.Errorf("lsm: wal recovery: %w", err)
@@ -233,6 +265,7 @@ func Open(opts Options) (*Store, error) {
 		Sync:        o.WALSync,
 		MaxSegments: o.MaxWALSegments,
 		Registry:    o.Registry,
+		Logger:      s.elog,
 	})
 	if err != nil {
 		return nil, err
@@ -255,6 +288,8 @@ func (s *Store) loadTables() error {
 		if strings.HasSuffix(name, tmpSuffix) {
 			// A table that was mid-write at crash time; the WAL still holds
 			// its contents.
+			s.elog.Warn("removing orphaned temp table from interrupted flush",
+				telemetry.F("file", name))
 			os.Remove(filepath.Join(s.opts.Dir, name))
 			continue
 		}
@@ -374,6 +409,16 @@ var tombstoneValue = []byte{tagTombstone}
 // equivalent to — just much cheaper than — the same writes applied one at a
 // time. An empty batch is a no-op.
 func (s *Store) ApplyBatch(writes []Write) error {
+	return s.ApplyBatchTraced(telemetry.TSpan{}, writes)
+}
+
+// ApplyBatchTraced is ApplyBatch under a trace span. When parent is live the
+// engine round appears as an "lsm.apply_batch" span with children for each
+// stage that actually ran: "lsm.stall_wait" (backpressure blocking, only when
+// the store stalled), "wal.append" (with the group-commit "wal.fsync"
+// beneath it, recorded by the WAL), and "lsm.memtable_insert". With an inert
+// parent this is exactly ApplyBatch — no clock reads, no allocations.
+func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 	if len(writes) == 0 {
 		return nil
 	}
@@ -382,6 +427,9 @@ func (s *Store) ApplyBatch(writes []Write) error {
 			return ErrBadKey
 		}
 	}
+	batchSp := parent.Child("lsm.apply_batch")
+	defer batchSp.End()
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -389,11 +437,16 @@ func (s *Store) ApplyBatch(writes []Write) error {
 	}
 	// Backpressure: block while the store-file count is at the cap, exactly
 	// like hbase.hstore.blockingStoreFiles. Checked once per batch.
-	for len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
-		s.stalls.Add(1)
-		s.met.stalls.Inc()
-		s.startMaintenanceLocked()
-		s.flushCond.Wait()
+	if len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
+		stallSp := batchSp.Child("lsm.stall_wait")
+		for len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
+			s.stalls.Add(1)
+			s.met.stalls.Inc()
+			s.met.stallsTagged.Inc()
+			s.startMaintenanceLocked()
+			s.flushCond.Wait()
+		}
+		stallSp.End()
 	}
 	if s.closed {
 		s.mu.Unlock()
@@ -408,7 +461,10 @@ func (s *Store) ApplyBatch(writes []Write) error {
 	eb := s.encPool.Get().(*encodeBuf)
 	defer s.encPool.Put(eb)
 	recs := eb.encode(writes)
-	if err := log.Append(recs...); err != nil {
+	walSp := batchSp.Child("wal.append")
+	err := log.AppendTraced(walSp, recs...)
+	walSp.End()
+	if err != nil {
 		if !errors.Is(err, wal.ErrLogFull) {
 			return fmt.Errorf("lsm: wal append: %w", err)
 		}
@@ -416,12 +472,16 @@ func (s *Store) ApplyBatch(writes []Write) error {
 		if ferr := s.Flush(); ferr != nil {
 			return fmt.Errorf("lsm: wal full and flush failed: %w", ferr)
 		}
-		if err = log.Append(recs...); err != nil {
+		retrySp := batchSp.Child("wal.append")
+		err = log.AppendTraced(retrySp, recs...)
+		retrySp.End()
+		if err != nil {
 			return fmt.Errorf("lsm: wal append after flush: %w", err)
 		}
 	}
 
 	memSp := s.met.memSpan.Start()
+	insertSp := batchSp.Child("lsm.memtable_insert")
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -443,9 +503,11 @@ func (s *Store) ApplyBatch(writes []Write) error {
 	}
 	s.puts.Add(puts)
 	s.deletes.Add(deletes)
+	insertSp.End()
 	memSp.End()
 	s.batchApplies.Add(1)
 	s.met.batchApplies.Inc()
+	s.met.batchAppliesTagged.Inc()
 	shouldFlush := !s.opts.DisableAutoFlush &&
 		s.active.Size() >= s.opts.MemtableSize && s.imm == nil
 	if shouldFlush {
@@ -481,6 +543,8 @@ func (s *Store) maintain() {
 	if imm != nil {
 		if err := s.flushMemtable(imm); err != nil {
 			// Leave imm in place; a later Flush call will retry and report.
+			s.elog.Error("background memtable flush failed; will retry",
+				telemetry.F("error", err))
 			return
 		}
 	}
@@ -489,7 +553,10 @@ func (s *Store) maintain() {
 	need := len(s.tables) >= s.opts.CompactTrigger
 	s.mu.Unlock()
 	if need {
-		s.compact()
+		if err := s.compact(); err != nil {
+			s.elog.Error("background compaction failed",
+				telemetry.F("error", err))
+		}
 	}
 }
 
@@ -570,6 +637,7 @@ func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 	s.imm = nil
 	s.flushes.Add(1)
 	s.met.flushes.Inc()
+	s.met.flushesTagged.Inc()
 	s.flushCond.Broadcast()
 	s.mu.Unlock()
 

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/telemetry"
 )
 
 // Sentinel errors.
@@ -55,8 +56,9 @@ func (in Info) String() string {
 
 // Region is a live key range backed by an LSM store.
 type Region struct {
-	info  Info
-	store *lsm.Store
+	info    Info
+	store   *lsm.Store
+	service string // trace-span service label, e.g. "node-02/iot,00001"
 }
 
 // Open creates or reopens the region's store under dir.
@@ -66,7 +68,11 @@ func Open(info Info, dir string, storeOpts lsm.Options) (*Region, error) {
 	if err != nil {
 		return nil, fmt.Errorf("region %s: %w", info.Name, err)
 	}
-	return &Region{info: info, store: s}, nil
+	return &Region{
+		info:    info,
+		store:   s,
+		service: filepath.Base(dir) + "/" + info.Name,
+	}, nil
 }
 
 // Info returns the region's identity.
@@ -96,12 +102,23 @@ func (r *Region) Delete(key []byte) error {
 // append and memtable apply. Rejecting before any write keeps the batch
 // all-or-nothing with respect to region bounds.
 func (r *Region) ApplyBatch(writes []lsm.Write) error {
+	return r.ApplyBatchTraced(telemetry.TSpan{}, writes)
+}
+
+// ApplyBatchTraced is ApplyBatch under a trace span: when parent is live the
+// apply appears as a "region.apply" span in the region's own service (the
+// node dir plus region name, e.g. "node-02/iot,00001"), with the engine's
+// WAL/memtable children beneath it.
+func (r *Region) ApplyBatchTraced(parent telemetry.TSpan, writes []lsm.Write) error {
 	for i := range writes {
 		if !r.info.Contains(writes[i].Key) {
 			return fmt.Errorf("%w: %q not in %s", ErrOutOfRange, writes[i].Key, r.info)
 		}
 	}
-	return r.store.ApplyBatch(writes)
+	sp := parent.ChildIn(r.service, "region.apply")
+	err := r.store.ApplyBatchTraced(sp, writes)
+	sp.End()
+	return err
 }
 
 // Get reads a key, rejecting keys outside the region.

@@ -13,6 +13,7 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"tpcxiot/internal/lsm"
@@ -41,6 +42,14 @@ type Applier interface {
 // available and falls back to per-key Put/Delete otherwise.
 type BatchApplier interface {
 	ApplyBatch(writes []lsm.Write) error
+}
+
+// TracedBatchApplier is satisfied by members that can carry a trace span
+// through the batch apply (region.Region and lsm.Store). ApplyBatchTraced
+// uses it so each member's engine work shows up in the operation's span
+// tree; members without it are applied untraced.
+type TracedBatchApplier interface {
+	ApplyBatchTraced(parent telemetry.TSpan, writes []lsm.Write) error
 }
 
 // Group is a synchronous replication pipeline. Single-key Put/Delete walk
@@ -101,11 +110,21 @@ func (g *Group) Delete(key []byte) error {
 // pipeline leaves, and the caller's retry/abort handles both identically.
 // The ack counter is bumped once for the whole batch (members × writes).
 func (g *Group) ApplyBatch(writes []lsm.Write) error {
+	return g.ApplyBatchTraced(telemetry.TSpan{}, writes)
+}
+
+// ApplyBatchTraced is ApplyBatch under a trace span: when parent is live the
+// fan-out appears as a "replication.fanout" span with one "replicate.N"
+// child per member running concurrently, each carrying the member's own
+// engine spans beneath it. With an inert parent this is exactly ApplyBatch.
+func (g *Group) ApplyBatchTraced(parent telemetry.TSpan, writes []lsm.Write) error {
 	if len(writes) == 0 {
 		return nil
 	}
+	fanSp := parent.Child("replication.fanout")
+	defer fanSp.End()
 	if len(g.members) == 1 {
-		if err := applyBatchTo(g.members[0], writes); err != nil {
+		if err := applyBatchTo(g.members[0], writes, fanSp); err != nil {
 			return fmt.Errorf("replication: member 0: %w", err)
 		}
 		g.acks.Add(int64(len(writes)))
@@ -117,7 +136,12 @@ func (g *Group) ApplyBatch(writes []lsm.Write) error {
 	for i, m := range g.members {
 		go func(i int, m Applier) {
 			defer wg.Done()
-			errs[i] = applyBatchTo(m, writes)
+			memberSp := telemetry.TSpan{}
+			if fanSp.Traced() {
+				memberSp = fanSp.Child("replicate." + strconv.Itoa(i))
+			}
+			errs[i] = applyBatchTo(m, writes, memberSp)
+			memberSp.End()
 		}(i, m)
 	}
 	wg.Wait()
@@ -132,7 +156,12 @@ func (g *Group) ApplyBatch(writes []lsm.Write) error {
 
 // applyBatchTo delivers the batch to one member: in one round when the
 // member supports it, key by key otherwise.
-func applyBatchTo(m Applier, writes []lsm.Write) error {
+func applyBatchTo(m Applier, writes []lsm.Write, sp telemetry.TSpan) error {
+	if sp.Traced() {
+		if ta, ok := m.(TracedBatchApplier); ok {
+			return ta.ApplyBatchTraced(sp, writes)
+		}
+	}
 	if ba, ok := m.(BatchApplier); ok {
 		return ba.ApplyBatch(writes)
 	}

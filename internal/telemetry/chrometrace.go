@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: completed traces render as a JSON object with a
+// "traceEvents" array loadable in chrome://tracing or Perfetto. Each distinct
+// service becomes one "thread" (tid), named via "M" (metadata) events, and
+// each span becomes one "X" (complete) event with microsecond timestamps.
+// Output is deterministic for a fixed input: tids are assigned in first-seen
+// span order and events keep span order within each trace.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes traces as Chrome trace-event JSON. Timestamps are
+// microseconds since the earliest span across all traces, so the viewer
+// timeline starts at zero.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	var t0 int64 = -1
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			if t0 < 0 || s.StartNs < t0 {
+				t0 = s.StartNs
+			}
+		}
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+
+	tids := make(map[string]int)
+	var events []chromeEvent
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			tid, ok := tids[s.Service]
+			if !ok {
+				tid = len(tids)
+				tids[s.Service] = tid
+				events = append(events, chromeEvent{
+					Name: "thread_name",
+					Ph:   "M",
+					Pid:  1,
+					Tid:  tid,
+					Args: map[string]any{"name": s.Service},
+				})
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Pid:  1,
+				Tid:  tid,
+				Ts:   float64(s.StartNs-t0) / 1e3,
+				Dur:  float64(s.DurNs) / 1e3,
+				Args: map[string]any{
+					"trace_id": s.TraceID,
+					"span_id":  s.SpanID,
+					"parent":   s.ParentID,
+				},
+			})
+		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

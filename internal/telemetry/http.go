@@ -80,15 +80,39 @@ func NewServeMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
+// TraceHandler serves the tracer's completed-trace ring buffer as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto. A nil tracer
+// serves an empty (but valid) document.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, t.Traces())
+	})
+}
+
+// MountTrace adds the /trace endpoint to a mux built by NewServeMux.
+func MountTrace(mux *http.ServeMux, t *Tracer) {
+	mux.Handle("/trace", TraceHandler(t))
+}
+
 // Serve starts the observability HTTP server on addr (e.g. ":9090" or
 // "127.0.0.1:0") in a background goroutine and returns the server and the
 // bound address. The caller owns shutdown via srv.Close.
 func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	return ServeTraced(addr, r, nil)
+}
+
+// ServeTraced is Serve with the /trace endpoint mounted too: the tracer's
+// completed-trace buffer as Chrome trace-event JSON. A nil tracer serves an
+// empty document.
+func ServeTraced(addr string, r *Registry, t *Tracer) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewServeMux(r)}
+	mux := NewServeMux(r)
+	MountTrace(mux, t)
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

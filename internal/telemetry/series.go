@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"tpcxiot/internal/histogram"
@@ -154,6 +155,10 @@ type Ticker struct {
 	interval time.Duration
 	onPoint  func(Point)
 
+	// mu guards the sampling state below: sample runs on the ticker
+	// goroutine, but Snapshot may be called from a signal handler while
+	// the run is still in flight.
+	mu       sync.Mutex
 	start    time.Time
 	lastTick time.Time
 	prevHist map[string]histogram.Snapshot
@@ -195,6 +200,8 @@ func (t *Ticker) Start() {
 // baseline records current cumulative state so the first interval reports
 // only activity after Start.
 func (t *Ticker) baseline() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, h := range t.reg.Histograms() {
 		t.prevHist[h.Name] = h.Snap
 	}
@@ -219,6 +226,12 @@ func (t *Ticker) loop() {
 
 // sample emits one point covering [lastTick, now).
 func (t *Ticker) sample(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sampleLocked(now)
+}
+
+func (t *Ticker) sampleLocked(now time.Time) {
 	p := Point{
 		Time:     now,
 		Elapsed:  now.Sub(t.start),
@@ -274,4 +287,18 @@ func (t *Ticker) Stop() *Series {
 	<-t.stopped
 	t.sample(time.Now())
 	return t.series
+}
+
+// Snapshot samples the tail since the last tick and returns a copy of the
+// series so far, without stopping the ticker. Safe to call concurrently with
+// sampling — a SIGINT handler uses it to flush the partial time series of an
+// interrupted run.
+func (t *Ticker) Snapshot() *Series {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sampleLocked(time.Now())
+	return &Series{
+		Interval: t.series.Interval,
+		Points:   append([]Point(nil), t.series.Points...),
+	}
 }

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestTaggedCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		tags []Tag
+		want string
+	}{
+		{"lsm.flushes", nil, "lsm.flushes"},
+		{"lsm.flushes", []Tag{{Key: "region", Value: "iot,00001"}}, "lsm.flushes{region=iot,00001}"},
+		// Tags render sorted by key regardless of argument order.
+		{"lsm.flushes", []Tag{{Key: "server", Value: "2"}, {Key: "region", Value: "iot,00001"}},
+			"lsm.flushes{region=iot,00001,server=2}"},
+	}
+	for _, c := range cases {
+		if got := Tagged(c.name, c.tags...); got != c.want {
+			t.Errorf("Tagged(%q, %v) = %q, want %q", c.name, c.tags, got, c.want)
+		}
+	}
+}
+
+func TestSplitTaggedRoundTrip(t *testing.T) {
+	tags := []Tag{{Key: "region", Value: "iot,00001"}, {Key: "server", Value: "2"}}
+	full := Tagged("lsm.batch_applies", tags...)
+	base, got := SplitTagged(full)
+	if base != "lsm.batch_applies" {
+		t.Fatalf("base = %q", base)
+	}
+	if len(got) != 2 || got[0] != tags[0] || got[1] != tags[1] {
+		t.Fatalf("tags = %v, want %v", got, tags)
+	}
+	if v := TagValue(full, "region"); v != "iot,00001" {
+		t.Fatalf("TagValue(region) = %q", v)
+	}
+	if v := TagValue(full, "missing"); v != "" {
+		t.Fatalf("TagValue(missing) = %q", v)
+	}
+
+	// Untagged names pass through.
+	base, got = SplitTagged("wal.appends")
+	if base != "wal.appends" || got != nil {
+		t.Fatalf("SplitTagged(untagged) = %q, %v", base, got)
+	}
+}
+
+// TestTaggedCountersConcurrent hammers tagged counters from many goroutines
+// while the HTTP /metrics handler scrapes the registry — the per-region
+// write path racing the observability surface. Run under -race.
+func TestTaggedCountersConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	mux := NewServeMux(reg)
+
+	const writers = 8
+	const perWriter = 1000
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer writerWG.Done()
+			region := Tag{Key: "region", Value: fmt.Sprintf("iot,%05d", w)}
+			for i := 0; i < perWriter; i++ {
+				reg.CounterTagged("lsm.batch_applies", region).Inc()
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			if !json.Valid(rec.Body.Bytes()) {
+				t.Error("scrape returned invalid JSON")
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	for w := 0; w < writers; w++ {
+		name := Tagged("lsm.batch_applies", Tag{Key: "region", Value: fmt.Sprintf("iot,%05d", w)})
+		if got := reg.Counter(name).Load(); got != perWriter {
+			t.Errorf("%s = %d, want %d", name, got, perWriter)
+		}
+	}
+}

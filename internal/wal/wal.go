@@ -70,6 +70,9 @@ type Options struct {
 	// "wal.appends", "wal.bytes" and "wal.syncs" plus the "put.wal_append"
 	// stage histogram. A nil registry costs one pointer test per append.
 	Registry *telemetry.Registry
+	// Logger, when non-nil, receives structured events from rare paths
+	// (recovery warnings). The hot append path never logs.
+	Logger *telemetry.Logger
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -214,8 +217,15 @@ func (l *Log) openSegmentLocked(seq uint64) error {
 // segment cap is reached. Concurrent appenders under SyncOnAppend share
 // fsyncs via group commit.
 func (l *Log) Append(records ...[]byte) error {
+	return l.AppendTraced(telemetry.TSpan{}, records...)
+}
+
+// AppendTraced is Append under a trace span: when parent is live, the fsync
+// performed by a group-commit leader appears as a "wal.fsync" child span (a
+// follower whose durability another writer's fsync covered records none).
+func (l *Log) AppendTraced(parent telemetry.TSpan, records ...[]byte) error {
 	sp := l.appendSpan.Start()
-	err := l.append(records)
+	err := l.append(records, parent)
 	sp.End()
 	if err == nil && l.appendsC != nil {
 		l.appendsC.Add(int64(len(records)))
@@ -229,7 +239,7 @@ func (l *Log) Append(records ...[]byte) error {
 }
 
 // append is the uninstrumented body of Append.
-func (l *Log) append(records [][]byte) error {
+func (l *Log) append(records [][]byte, trace telemetry.TSpan) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -273,7 +283,7 @@ func (l *Log) append(records [][]byte) error {
 	l.mu.Unlock()
 
 	if l.opts.Sync == SyncOnAppend {
-		return l.groupSync(myOffset)
+		return l.groupSync(myOffset, trace)
 	}
 	return nil
 }
@@ -282,7 +292,7 @@ func (l *Log) append(records [][]byte) error {
 // concurrent appenders: whoever holds syncMu is the leader; followers that
 // arrive later find their offset already covered and return without an
 // fsync of their own.
-func (l *Log) groupSync(myOffset int64) error {
+func (l *Log) groupSync(myOffset int64, trace telemetry.TSpan) error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
 	if l.synced.Load() >= myOffset {
@@ -305,7 +315,10 @@ func (l *Log) groupSync(myOffset int64) error {
 	// fsync without holding mu, so new appends accumulate into the next
 	// cohort while the disk works. The file handle cannot be closed
 	// concurrently: rotation retires handles without closing them.
-	if err := f.Sync(); err != nil {
+	fsyncSpan := trace.Child("wal.fsync")
+	err := f.Sync()
+	fsyncSpan.End()
+	if err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.groupSyncs++
@@ -436,6 +449,13 @@ func (l *Log) Close() error {
 // the crash-recovery contract); corruption in the middle of a segment
 // returns ErrCorrupt.
 func Replay(dir string, fn func(record []byte) error) error {
+	return ReplayLog(dir, nil, fn)
+}
+
+// ReplayLog is Replay with a structured logger: tolerated torn-tail records
+// — silently dropped by Replay — are reported as warn events so operators
+// can tell a clean recovery from one that discarded an unacknowledged tail.
+func ReplayLog(dir string, logger *telemetry.Logger, fn func(record []byte) error) error {
 	segs, err := listSegments(dir)
 	if err != nil {
 		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
@@ -449,20 +469,27 @@ func Replay(dir string, fn func(record []byte) error) error {
 	}
 	for i, seq := range segs {
 		last := i == len(segs)-1
-		if err := replaySegment(filepath.Join(dir, segmentName(seq)), last, fn); err != nil {
+		if err := replaySegment(filepath.Join(dir, segmentName(seq)), last, logger, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replaySegment(path string, tolerateTornTail bool, fn func([]byte) error) error {
+func replaySegment(path string, tolerateTornTail bool, logger *telemetry.Logger, fn func([]byte) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("wal: open for replay: %w", err)
 	}
 	defer f.Close()
+	tornTail := func(reason string, recs int64) {
+		logger.Warn("wal replay stopped at torn tail record",
+			telemetry.F("segment", filepath.Base(path)),
+			telemetry.F("reason", reason),
+			telemetry.F("records_replayed", recs))
+	}
 	r := bufio.NewReaderSize(f, 256<<10)
+	var replayed int64
 	for {
 		var hdr [headerLen]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -470,6 +497,7 @@ func replaySegment(path string, tolerateTornTail bool, fn func([]byte) error) er
 				return nil
 			}
 			if err == io.ErrUnexpectedEOF && tolerateTornTail {
+				tornTail("truncated header", replayed)
 				return nil
 			}
 			return fmt.Errorf("%w: truncated header in %s", ErrCorrupt, filepath.Base(path))
@@ -481,6 +509,7 @@ func replaySegment(path string, tolerateTornTail bool, fn func([]byte) error) er
 		rec := make([]byte, n)
 		if _, err := io.ReadFull(r, rec); err != nil {
 			if (err == io.EOF || err == io.ErrUnexpectedEOF) && tolerateTornTail {
+				tornTail("truncated record body", replayed)
 				return nil
 			}
 			return fmt.Errorf("%w: truncated record in %s", ErrCorrupt, filepath.Base(path))
@@ -488,6 +517,7 @@ func replaySegment(path string, tolerateTornTail bool, fn func([]byte) error) er
 		if crc32.Checksum(rec, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
 			if tolerateTornTail {
 				// A torn write can scramble the final record; stop replay.
+				tornTail("checksum mismatch", replayed)
 				return nil
 			}
 			return fmt.Errorf("%w: checksum mismatch in %s", ErrCorrupt, filepath.Base(path))
@@ -495,5 +525,6 @@ func replaySegment(path string, tolerateTornTail bool, fn func([]byte) error) er
 		if err := fn(rec); err != nil {
 			return err
 		}
+		replayed++
 	}
 }
