@@ -1,0 +1,134 @@
+// Amplification microbenchmark for the byte-accounting ledger (PR 6):
+// sustained ingest through the real cluster with a deliberately small
+// memtable, so flush and compaction traffic accumulates and the derived
+// write-amplification factor is exercised end to end. Results are captured
+// in results/BENCH_PR6.json; the CI bench-smoke job re-runs this and gates
+// on benchdiff against that baseline.
+package tpcxiot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/telemetry"
+	"tpcxiot/internal/wal"
+)
+
+// BenchmarkClusterAmplification ingests a fixed 2000 rows of 1 KiB per op
+// (so even -benchtime=1x is a sustained run with real flushes and
+// compactions) into a 3-node, 3-way-replicated single-region table, swept
+// across memtable sizes. The small memtable forces frequent flushes; the
+// compaction trigger then folds the store files, and the reported metrics
+// come from the cluster's storage ledger:
+//
+//	rows/s         end-to-end ingest rate
+//	write_amp      (WAL + flush + compaction rewrite bytes) / logical bytes,
+//	               summed over every replica — the headline ledger ratio
+//	cache_hit_pct  block-cache hit rate over the whole run (compaction
+//	               merges and the closing read sweep)
+//	bloom_fp_pct   Bloom false positives per filter consultation in the
+//	               closing read sweep (present + absent keys)
+//	debt_mb        compaction debt left at the end — bytes a full
+//	               compaction would still rewrite
+func BenchmarkClusterAmplification(b *testing.B) {
+	value := bytes.Repeat([]byte("x"), 1024)
+	const keyLen = 15 // len("row############")
+	const rowsPerOp = 2000
+	rowBytes := int64(keyLen) + int64(len(value))
+
+	for _, mt := range []struct {
+		name string
+		size int64
+	}{
+		{"256k", 256 << 10},
+		{"1m", 1 << 20},
+	} {
+		b.Run(fmt.Sprintf("memtable=%s", mt.name), func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "tpcxiot-amp-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			reg := telemetry.NewRegistry()
+			cluster, err := hbase.NewCluster(hbase.Config{
+				Nodes:   3,
+				DataDir: dir,
+				Store: lsm.Options{
+					WALSync:        wal.SyncOnRotate,
+					MemtableSize:   mt.size,
+					CompactTrigger: 4,
+				},
+				Registry: reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			if _, err := cluster.CreateTable("amp", nil); err != nil {
+				b.Fatal(err)
+			}
+			client, err := cluster.NewClient("amp", 64*rowBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			b.SetBytes(rowBytes * rowsPerOp)
+			b.ResetTimer()
+			row := 0
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < rowsPerOp; j++ {
+					key := fmt.Sprintf("row%012d", row)
+					row++
+					if err := client.Put([]byte(key), value); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := client.FlushCommits(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+
+			// Settle every replica — synchronous flush, then a full
+			// compaction — so the ledger reflects the whole ingest rather
+			// than whatever the background workers got to, and write_amp is
+			// stable enough to gate on in CI.
+			for _, srv := range cluster.Servers() {
+				for _, r := range srv.Regions() {
+					if err := r.Flush(); err != nil {
+						b.Fatal(err)
+					}
+					if err := r.Store().Compact(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+
+			// Closing read sweep: present and absent keys, so the Bloom and
+			// cache counters see the point-read path too.
+			for j := 0; j < 500; j++ {
+				key := fmt.Sprintf("row%012d", j*(row/500+1)%row)
+				if _, _, err := client.Get([]byte(key)); err != nil {
+					b.Fatal(err)
+				}
+				miss := fmt.Sprintf("nox%012d", j)
+				if _, _, err := client.Get([]byte(miss)); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			st := cluster.Storage()
+			b.ReportMetric(st.WriteAmplification, "write_amp")
+			b.ReportMetric(st.CacheHitRate*100, "cache_hit_pct")
+			b.ReportMetric(st.BloomFalsePositiveRate*100, "bloom_fp_pct")
+			b.ReportMetric(float64(st.Totals.CompactionDebtBytes)/(1<<20), "debt_mb")
+			if el := b.Elapsed().Seconds(); el > 0 {
+				b.ReportMetric(float64(b.N)*rowsPerOp/el, "rows/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"tpcxiot/internal/benchfmt"
+)
+
+// runBenchJSON converts go-bench output (src file, "-" = stdin) into the
+// canonical bench JSON schema. Multiple benchmark families in one input are
+// emitted as a JSON array; a single family is emitted bare, matching the
+// committed results/BENCH_*.json shape.
+func runBenchJSON(src, out string) error {
+	var r io.Reader
+	if src == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	files, err := benchfmt.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results in %s", src)
+	}
+	for _, f := range files {
+		f.Date = time.Now().Format("2006-01-02")
+		f.Environment = map[string]any{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"go":     runtime.Version(),
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if len(files) == 1 {
+		return files[0].Write(w)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(files)
+}
+
+// runBenchDiff compares a new canonical bench file against a baseline and
+// exits nonzero when any directional metric regressed beyond the threshold.
+// Inputs holding multiple families (benchjson array output) are matched to
+// the baseline by family name.
+func runBenchDiff(args []string, threshold float64, diffOut string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("benchdiff: want exactly two arguments <baseline.json> <new.json>, got %d", len(args))
+	}
+	old, err := readBenchFile(args[0])
+	if err != nil {
+		return err
+	}
+	news, err := readBenchFiles(args[1])
+	if err != nil {
+		return err
+	}
+	newF := news[0]
+	for _, f := range news {
+		if f.Benchmark == old.Benchmark {
+			newF = f
+			break
+		}
+	}
+
+	rep := benchfmt.Diff(old, newF, threshold)
+	rep.Format(os.Stdout)
+	if diffOut != "" {
+		f, err := os.Create(diffOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func readBenchFile(path string) (*benchfmt.File, error) {
+	fs, err := readBenchFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs[0], nil
+}
+
+// readBenchFiles loads a canonical bench document that is either one File
+// or an array of them (the multi-family benchjson output).
+func readBenchFiles(path string) ([]*benchfmt.File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var one benchfmt.File
+	if err := json.Unmarshal(b, &one); err == nil && one.Benchmark != "" {
+		return []*benchfmt.File{&one}, nil
+	}
+	var many []*benchfmt.File
+	if err := json.Unmarshal(b, &many); err != nil || len(many) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s is neither a bench file nor an array of them", path)
+	}
+	return many, nil
+}

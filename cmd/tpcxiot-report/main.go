@@ -3,10 +3,20 @@
 // paper-scale testbed, prices the reference configuration, applies the
 // audit checklist, and renders the disclosures.
 //
+// It is also the benchmark-results toolchain:
+//
+//	-benchjson converts `go test -bench` output into the canonical
+//	results/BENCH_*.json schema (package benchfmt), and
+//	-benchdiff compares two canonical files metric-by-metric, exiting
+//	nonzero when a directional metric regressed beyond the threshold —
+//	the CI perf gate.
+//
 // Usage:
 //
 //	tpcxiot-report -nodes 8 -substations 32 -sponsor "Example Corp"
 //	tpcxiot-report -es                       # executive summary only
+//	go test -bench=. | tpcxiot-report -benchjson - -bench-out out.json
+//	tpcxiot-report -benchdiff -threshold 2.0 baseline.json new.json
 package main
 
 import (
@@ -31,8 +41,27 @@ func main() {
 		system      = flag.String("system", "Example IoT Gateway", "system name")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		esOnly      = flag.Bool("es", false, "print only the executive summary")
+
+		benchJSON = flag.String("benchjson", "", "convert go-bench output (file, or - for stdin) to canonical bench JSON")
+		benchOut  = flag.String("bench-out", "", "with -benchjson: output file (default stdout)")
+		benchDiff = flag.Bool("benchdiff", false, "compare two canonical bench JSON files: <baseline> <new>")
+		threshold = flag.Float64("threshold", 0, "with -benchdiff: worse-by factor that fails the gate (default 2.0)")
+		diffOut   = flag.String("diff-out", "", "with -benchdiff: also write the diff report as JSON here")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchDiff {
+		if err := runBenchDiff(flag.Args(), *threshold, *diffOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	result, err := experiments.SimulatedResult(*nodes, *substations, *kvps, *seed,
 		time.Date(2017, time.June, 1, 0, 0, 0, 0, time.UTC))

@@ -49,7 +49,8 @@ func main() {
 		telemetryOn  = flag.Bool("telemetry", false, "collect engine counters, op-path spans and a per-interval time series")
 		telemetryInt = flag.Duration("telemetry-interval", 10*time.Second, "telemetry sampling period")
 		telemetryCSV = flag.String("telemetry-csv", "", "write the telemetry time series to this CSV file (default results/telemetry-<pid>.csv when -telemetry is on)")
-		telemetryAdr = flag.String("telemetry-addr", "", "serve /metrics (JSON), /trace (Chrome trace JSON) and /debug/pprof on this address, e.g. localhost:6060 (implies -telemetry)")
+		telemetryAdr = flag.String("telemetry-addr", "", "serve /metrics, /storage, /healthz, /trace and /debug/pprof on this address, e.g. localhost:6060 (implies -telemetry)")
+		healthInt    = flag.Duration("health-interval", 0, "runtime health sampling period (heap, GC pauses, goroutines; 0 = 1s default, negative disables)")
 		traceSample  = flag.Int("trace-sample", 1024, "sample one in N client operations into distributed traces when telemetry is on (1 traces everything)")
 		slowopMs     = flag.Float64("slowop-ms", -1, "log the full span tree of sampled operations slower than this many ms (0 logs every sampled op; negative disables)")
 		eventsPath   = flag.String("events", "", "write structured JSONL engine events to this file (default stderr when telemetry is on)")
@@ -104,15 +105,6 @@ func main() {
 			}
 		}
 	}
-	if *telemetryAdr != "" {
-		srv, addr, err := telemetry.ServeTraced(*telemetryAdr, reg, tracer)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		log.Printf("telemetry: /metrics, /trace and /debug/pprof on http://%s", addr)
-	}
-
 	walSync := wal.SyncNever
 	if *durable {
 		walSync = wal.SyncOnAppend
@@ -130,6 +122,24 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	// The observability server mounts after the cluster exists so /storage
+	// and /healthz can introspect the live stores, not a placeholder.
+	if *telemetryAdr != "" {
+		mux := telemetry.NewServeMux(reg)
+		telemetry.MountTrace(mux, tracer)
+		telemetry.MountJSON(mux, "/storage", func() any { return cluster.Storage() })
+		telemetry.MountHealth(mux, "/healthz", func() (any, bool) {
+			h := cluster.Health()
+			return h, h.OK
+		})
+		srv, addr, err := telemetry.ServeMux(*telemetryAdr, mux)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("telemetry: /metrics, /storage, /healthz, /trace and /debug/pprof on http://%s", addr)
+	}
 
 	sut, err := driver.NewClusterSUT(cluster, *drivers, *writeBuffer)
 	if err != nil {
@@ -180,6 +190,7 @@ func main() {
 		StatusInterval:     *status,
 		Telemetry:          reg,
 		TelemetryInterval:  *telemetryInt,
+		HealthInterval:     *healthInt,
 		Tracer:             tracer,
 		OnTicker: func(t *telemetry.Ticker) {
 			tickerMu.Lock()

@@ -1,0 +1,161 @@
+// Package benchfmt defines the canonical schema for the repository's
+// committed benchmark results (results/BENCH_*.json), a parser that turns
+// `go test -bench` output into that schema, and a direction-aware differ
+// used as the CI perf-regression gate.
+//
+// One result file holds one benchmark family: identification (name,
+// description, date, command, environment), a list of results — each a
+// variant (the identifying sub-benchmark dimensions, as strings) plus a
+// metrics map (all numeric) — and a free-form summary. Keeping variants and
+// metrics in separate maps is what makes files diffable: two runs match
+// results by (name, variant) and compare metric-by-metric, with the
+// direction of "better" inferred from the metric name.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// File is one canonical benchmark result document.
+type File struct {
+	// Benchmark is the Go benchmark family name, e.g. "BenchmarkClusterIngest".
+	Benchmark   string         `json:"benchmark"`
+	Description string         `json:"description,omitempty"`
+	Date        string         `json:"date,omitempty"`
+	Command     string         `json:"command,omitempty"`
+	Environment map[string]any `json:"environment,omitempty"`
+	Results     []Result       `json:"results"`
+	Summary     map[string]any `json:"summary,omitempty"`
+}
+
+// Result is one sub-benchmark's measurements.
+type Result struct {
+	// Name is the sub-benchmark path when it carries non-key=value parts;
+	// usually empty because the dimensions live in Variant.
+	Name string `json:"name,omitempty"`
+	// Variant identifies the sub-benchmark: its key=value path components,
+	// values kept as strings ("batch": "64").
+	Variant map[string]string `json:"variant,omitempty"`
+	// Iters is the b.N the numbers were averaged over, when known.
+	Iters int64 `json:"iters,omitempty"`
+	// Metrics holds every numeric measurement under canonical names:
+	// ns_per_op, mb_per_s, b_per_op, allocs_per_op, and custom go-bench
+	// units x/y as x_per_y.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Key canonically identifies a result for cross-file matching: the name
+// plus the variant pairs in sorted key order.
+func (r Result) Key() string {
+	parts := make([]string, 0, len(r.Variant)+1)
+	if r.Name != "" {
+		parts = append(parts, r.Name)
+	}
+	keys := make([]string, 0, len(r.Variant))
+	for k := range r.Variant {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, k+"="+r.Variant[k])
+	}
+	return strings.Join(parts, "/")
+}
+
+// ReadFile loads a canonical result document.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write renders the document as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// canonicalUnit maps a go-bench unit to the schema's metric name:
+// the standard units get their conventional names, and any custom
+// "x/y" ReportMetric unit becomes x_per_y (lowercased, non-alphanumerics
+// folded to underscores).
+func canonicalUnit(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "MB/s":
+		return "mb_per_s"
+	case "B/op":
+		return "b_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(unit) {
+		switch {
+		case r == '/':
+			b.WriteString("_per_")
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Direction classifies which way a metric improves.
+type Direction int
+
+const (
+	// Informational metrics carry context (bytes moved, rows touched) and
+	// never gate a diff.
+	Informational Direction = iota
+	// LowerBetter: latencies, allocation costs, amplification factors.
+	LowerBetter
+	// HigherBetter: throughputs.
+	HigherBetter
+)
+
+// String names the direction for diff output.
+func (d Direction) String() string {
+	switch d {
+	case LowerBetter:
+		return "lower-better"
+	case HigherBetter:
+		return "higher-better"
+	default:
+		return "informational"
+	}
+}
+
+// MetricDirection infers how a canonical metric improves from its name.
+// Unknown names are Informational, so a new metric never breaks the gate
+// until someone teaches the differ its direction.
+func MetricDirection(name string) Direction {
+	switch name {
+	case "ns_per_op", "b_per_op", "allocs_per_op", "write_amp", "read_amp":
+		return LowerBetter
+	}
+	switch {
+	case strings.HasSuffix(name, "_ns"):
+		return LowerBetter
+	case strings.HasSuffix(name, "_per_s"):
+		return HigherBetter
+	case strings.HasSuffix(name, "_amp"):
+		return LowerBetter
+	}
+	return Informational
+}

@@ -1,0 +1,248 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseGoBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: tpcxiot
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClusterIngest/sync=append/batch=64-8  	5000	23046 ns/op	45.08 MB/s	1.000 fsyncs/batch
+BenchmarkClusterIngest/sync=never/batch=64-8   	5000	6241 ns/op	166.48 MB/s	0 fsyncs/batch
+BenchmarkClusterAmplification/memtable=256k    	1	22662289 ns/op	91.69 MB/s	3.018 write_amp
+BenchmarkOther/plain-8                         	100	1234 ns/op	512 B/op	7 allocs/op
+PASS
+ok  	tpcxiot	0.300s
+`
+	files, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("families = %d, want 3", len(files))
+	}
+	ingest := files[0]
+	if ingest.Benchmark != "BenchmarkClusterIngest" {
+		t.Fatalf("family[0] = %q", ingest.Benchmark)
+	}
+	if len(ingest.Results) != 2 {
+		t.Fatalf("ingest results = %d, want 2", len(ingest.Results))
+	}
+	r := ingest.Results[0]
+	if r.Iters != 5000 {
+		t.Errorf("iters = %d, want 5000", r.Iters)
+	}
+	if r.Variant["sync"] != "append" || r.Variant["batch"] != "64" {
+		t.Errorf("variant = %v", r.Variant)
+	}
+	if r.Name != "" {
+		t.Errorf("name = %q, want empty (all components are key=value)", r.Name)
+	}
+	for m, want := range map[string]float64{
+		"ns_per_op": 23046, "mb_per_s": 45.08, "fsyncs_per_batch": 1.0,
+	} {
+		if got := r.Metrics[m]; got != want {
+			t.Errorf("metric %s = %v, want %v", m, got, want)
+		}
+	}
+	if got := r.Key(); got != "batch=64/sync=append" {
+		t.Errorf("key = %q", got)
+	}
+
+	amp := files[1]
+	if amp.Benchmark != "BenchmarkClusterAmplification" {
+		t.Fatalf("family[1] = %q", amp.Benchmark)
+	}
+	// "256k" ends in a letter, so the GOMAXPROCS strip must not eat it; and
+	// the custom ReportMetric unit keeps its name verbatim.
+	if got := amp.Results[0].Variant["memtable"]; got != "256k" {
+		t.Errorf("memtable variant = %q", got)
+	}
+	if got := amp.Results[0].Metrics["write_amp"]; got != 3.018 {
+		t.Errorf("write_amp = %v", got)
+	}
+
+	other := files[2]
+	if other.Results[0].Name != "plain" {
+		t.Errorf("non-key=value component: name = %q, want plain", other.Results[0].Name)
+	}
+	if got := other.Results[0].Metrics["b_per_op"]; got != 512 {
+		t.Errorf("b_per_op = %v", got)
+	}
+}
+
+func TestCanonicalUnit(t *testing.T) {
+	for unit, want := range map[string]string{
+		"ns/op":        "ns_per_op",
+		"MB/s":         "mb_per_s",
+		"B/op":         "b_per_op",
+		"allocs/op":    "allocs_per_op",
+		"rows/s":       "rows_per_s",
+		"fsyncs/batch": "fsyncs_per_batch",
+		"write_amp":    "write_amp",
+	} {
+		if got := canonicalUnit(unit); got != want {
+			t.Errorf("canonicalUnit(%q) = %q, want %q", unit, got, want)
+		}
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	for name, want := range map[string]Direction{
+		"ns_per_op":     LowerBetter,
+		"b_per_op":      LowerBetter,
+		"allocs_per_op": LowerBetter,
+		"write_amp":     LowerBetter,
+		"read_amp":      LowerBetter,
+		"gc_pause_ns":   LowerBetter,
+		"mb_per_s":      HigherBetter,
+		"rows_per_s":    HigherBetter,
+		"cache_hit_pct": Informational,
+		"debt_mb":       Informational,
+	} {
+		if got := MetricDirection(name); got != want {
+			t.Errorf("MetricDirection(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func result(variant map[string]string, metrics map[string]float64) Result {
+	return Result{Variant: variant, Metrics: metrics}
+}
+
+func TestDiffDirections(t *testing.T) {
+	old := &File{Benchmark: "B", Results: []Result{
+		result(map[string]string{"v": "a"}, map[string]float64{
+			"ns_per_op": 100, "rows_per_s": 1000, "debt_mb": 5,
+		}),
+	}}
+	// Everything got dramatically worse — but only directional metrics may
+	// regress, and only past the threshold.
+	worse := &File{Benchmark: "B", Results: []Result{
+		result(map[string]string{"v": "a"}, map[string]float64{
+			"ns_per_op": 300, "rows_per_s": 100, "debt_mb": 500,
+		}),
+	}}
+	rep := Diff(old, worse, 2.0)
+	if rep.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (ns_per_op and rows_per_s; debt_mb is informational)", rep.Regressions)
+	}
+	for _, d := range rep.Diffs {
+		wantReg := d.Metric != "debt_mb"
+		if d.Regression != wantReg {
+			t.Errorf("%s regression = %v, want %v", d.Metric, d.Regression, wantReg)
+		}
+	}
+
+	// Within threshold: 1.5x worse on a 2x gate passes.
+	within := &File{Benchmark: "B", Results: []Result{
+		result(map[string]string{"v": "a"}, map[string]float64{
+			"ns_per_op": 150, "rows_per_s": 667, "debt_mb": 5,
+		}),
+	}}
+	if rep := Diff(old, within, 2.0); rep.Regressions != 0 {
+		t.Fatalf("within-threshold regressions = %d, want 0", rep.Regressions)
+	}
+
+	// Collapsed throughput (new = 0) must regress even though the ratio
+	// division is degenerate.
+	dead := &File{Benchmark: "B", Results: []Result{
+		result(map[string]string{"v": "a"}, map[string]float64{"rows_per_s": 0}),
+	}}
+	if rep := Diff(old, dead, 2.0); rep.Regressions != 1 {
+		t.Fatalf("collapsed throughput regressions = %d, want 1", rep.Regressions)
+	}
+}
+
+func TestDiffCoverage(t *testing.T) {
+	old := &File{Benchmark: "B", Results: []Result{
+		result(map[string]string{"v": "a"}, map[string]float64{"ns_per_op": 1}),
+		result(map[string]string{"v": "b"}, map[string]float64{"ns_per_op": 1}),
+	}}
+	new := &File{Benchmark: "B", Results: []Result{
+		result(map[string]string{"v": "a"}, map[string]float64{"ns_per_op": 1}),
+		result(map[string]string{"v": "c"}, map[string]float64{"ns_per_op": 1}),
+	}}
+	rep := Diff(old, new, 0) // non-positive selects DefaultThreshold
+	if rep.Threshold != DefaultThreshold {
+		t.Errorf("threshold = %v, want %v", rep.Threshold, DefaultThreshold)
+	}
+	if len(rep.MissingInNew) != 1 || rep.MissingInNew[0] != "v=b" {
+		t.Errorf("missing = %v", rep.MissingInNew)
+	}
+	if len(rep.OnlyInNew) != 1 || rep.OnlyInNew[0] != "v=c" {
+		t.Errorf("only-in-new = %v", rep.OnlyInNew)
+	}
+	// Coverage loss is reported but never fails the gate.
+	if rep.Regressions != 0 {
+		t.Errorf("regressions = %d, want 0", rep.Regressions)
+	}
+}
+
+// TestFileSchemaGolden pins the canonical JSON shape: the committed
+// results/BENCH_*.json files and the benchdiff matcher both depend on these
+// exact field names, so a rename must fail loudly here.
+func TestFileSchemaGolden(t *testing.T) {
+	f := &File{
+		Benchmark:   "BenchmarkX",
+		Description: "d",
+		Date:        "2026-08-08",
+		Command:     "go test -bench=X",
+		Environment: map[string]any{"goos": "linux"},
+		Results: []Result{{
+			Variant: map[string]string{"memtable": "256k"},
+			Iters:   1,
+			Metrics: map[string]float64{"ns_per_op": 100, "write_amp": 3.018},
+		}},
+		Summary: map[string]any{"acceptance": "ok"},
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "benchmark": "BenchmarkX",
+  "description": "d",
+  "date": "2026-08-08",
+  "command": "go test -bench=X",
+  "environment": {
+    "goos": "linux"
+  },
+  "results": [
+    {
+      "variant": {
+        "memtable": "256k"
+      },
+      "iters": 1,
+      "metrics": {
+        "ns_per_op": 100,
+        "write_amp": 3.018
+      }
+    }
+  ],
+  "summary": {
+    "acceptance": "ok"
+  }
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("canonical JSON drifted from golden schema:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+
+	// Round-trip: the document must load back identically through the same
+	// path the differ uses.
+	var back File
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != f.Benchmark || len(back.Results) != 1 ||
+		back.Results[0].Metrics["write_amp"] != 3.018 ||
+		back.Results[0].Variant["memtable"] != "256k" {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}

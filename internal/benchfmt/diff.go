@@ -1,0 +1,141 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricDiff compares one metric of one matched result across two files.
+type MetricDiff struct {
+	Result    string  `json:"result"` // the matched Result.Key()
+	Metric    string  `json:"metric"`
+	Direction string  `json:"direction"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	// Ratio is new/old (+Inf rendered as 0 when old is 0).
+	Ratio float64 `json:"ratio"`
+	// Regression marks a directional metric that got worse by more than the
+	// diff threshold.
+	Regression bool `json:"regression"`
+}
+
+// DiffReport is the full comparison of two canonical result files.
+type DiffReport struct {
+	Benchmark string `json:"benchmark"`
+	// Threshold is the worse-by factor a directional metric may move before
+	// it counts as a regression (2.0 = twice as bad).
+	Threshold float64      `json:"threshold"`
+	Diffs     []MetricDiff `json:"diffs"`
+	// MissingInNew lists baseline results with no counterpart in the new
+	// file; coverage loss is reported but does not fail the gate (CI smoke
+	// runs legitimately exercise fewer variants than a full baseline run).
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	// OnlyInNew lists new results with no baseline counterpart.
+	OnlyInNew   []string `json:"only_in_new,omitempty"`
+	Regressions int      `json:"regressions"`
+}
+
+// DefaultThreshold is the generous CI gate: a directional metric must get
+// more than 2× worse before the diff fails. Shared-runner noise routinely
+// moves single benchmarks tens of percent; a 2× move is a real regression.
+const DefaultThreshold = 2.0
+
+// Diff compares new against the old baseline, matching results by Key and
+// comparing every metric present in both. Directional metrics (see
+// MetricDirection) regress when they get worse by more than threshold
+// (non-positive selects DefaultThreshold); informational metrics are
+// reported but never regress.
+func Diff(old, new *File, threshold float64) *DiffReport {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := &DiffReport{Benchmark: old.Benchmark, Threshold: threshold}
+
+	newByKey := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		newByKey[r.Key()] = r
+	}
+	oldKeys := make(map[string]bool, len(old.Results))
+
+	for _, or := range old.Results {
+		key := or.Key()
+		oldKeys[key] = true
+		nr, ok := newByKey[key]
+		if !ok {
+			rep.MissingInNew = append(rep.MissingInNew, key)
+			continue
+		}
+		metrics := make([]string, 0, len(or.Metrics))
+		for m := range or.Metrics {
+			if _, ok := nr.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov, nv := or.Metrics[m], nr.Metrics[m]
+			dir := MetricDirection(m)
+			d := MetricDiff{
+				Result: key, Metric: m, Direction: dir.String(),
+				Old: ov, New: nv,
+			}
+			if ov != 0 {
+				d.Ratio = nv / ov
+			}
+			switch dir {
+			case LowerBetter:
+				d.Regression = nv > ov*threshold
+			case HigherBetter:
+				// old/new > threshold, written multiplication-only so a
+				// zero new value (collapsed throughput) regresses too.
+				d.Regression = ov > nv*threshold && ov > 0
+			}
+			if d.Regression {
+				rep.Regressions++
+			}
+			rep.Diffs = append(rep.Diffs, d)
+		}
+	}
+	for _, r := range new.Results {
+		if key := r.Key(); !oldKeys[key] {
+			rep.OnlyInNew = append(rep.OnlyInNew, key)
+		}
+	}
+	sort.Strings(rep.MissingInNew)
+	sort.Strings(rep.OnlyInNew)
+	return rep
+}
+
+// Format renders the report as an aligned text table, regressions marked,
+// for CI logs and humans.
+func (rep *DiffReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "benchdiff: %s (threshold %.2fx)\n", rep.Benchmark, rep.Threshold)
+	if len(rep.Diffs) == 0 {
+		fmt.Fprintln(w, "  no comparable results")
+	}
+	cur := ""
+	for _, d := range rep.Diffs {
+		if d.Result != cur {
+			cur = d.Result
+			fmt.Fprintf(w, "  %s\n", cur)
+		}
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "  %s %-24s %14.4g -> %14.4g  (%.3fx, %s)\n",
+			mark, d.Metric, d.Old, d.New, d.Ratio, d.Direction)
+	}
+	for _, k := range rep.MissingInNew {
+		fmt.Fprintf(w, "  - missing in new run: %s\n", k)
+	}
+	for _, k := range rep.OnlyInNew {
+		fmt.Fprintf(w, "  + only in new run: %s\n", k)
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d metric(s) regressed beyond %.2fx\n", rep.Regressions, rep.Threshold)
+	} else {
+		fmt.Fprintf(w, "ok: no regressions beyond %.2fx\n", rep.Threshold)
+	}
+}

@@ -1,0 +1,96 @@
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseGoBench reads `go test -bench` output and returns one File per
+// benchmark family found, in first-appearance order. A result line looks
+// like
+//
+//	BenchmarkClusterIngest/sync=append/batch=64-8  5000  23046 ns/op  45.08 MB/s  1.000 fsyncs/batch
+//
+// The family name is the first path component (GOMAXPROCS suffix stripped),
+// key=value components become the variant, non-key=value components are
+// appended to the result name, and each "value unit" pair becomes a metric
+// under its canonical name. Non-benchmark lines (goos/pkg headers, PASS,
+// ok) are skipped.
+func ParseGoBench(r io.Reader) ([]*File, error) {
+	var files []*File
+	byName := make(map[string]*File)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid line: name, iters, value, unit.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." line that is not a result row
+		}
+
+		family, res := splitBenchName(fields[0])
+		res.Iters = iters
+		res.Metrics = make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in %q", fields[i], line)
+			}
+			res.Metrics[canonicalUnit(fields[i+1])] = v
+		}
+
+		f, ok := byName[family]
+		if !ok {
+			f = &File{Benchmark: family}
+			byName[family] = f
+			files = append(files, f)
+		}
+		f.Results = append(f.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %w", err)
+	}
+	return files, nil
+}
+
+// splitBenchName decomposes a benchmark path like
+// "BenchmarkClusterIngest/sync=append/batch=64-8" into the family name and
+// a Result carrying the variant. The trailing -N GOMAXPROCS suffix is
+// stripped from the last component.
+func splitBenchName(full string) (family string, res Result) {
+	parts := strings.Split(full, "/")
+	// Strip the GOMAXPROCS suffix from the final component: a trailing
+	// "-<digits>".
+	last := parts[len(parts)-1]
+	if i := strings.LastIndexByte(last, '-'); i > 0 {
+		if _, err := strconv.Atoi(last[i+1:]); err == nil {
+			parts[len(parts)-1] = last[:i]
+		}
+	}
+	family = parts[0]
+	var nameParts []string
+	for _, p := range parts[1:] {
+		if k, v, ok := strings.Cut(p, "="); ok && k != "" {
+			if res.Variant == nil {
+				res.Variant = make(map[string]string)
+			}
+			res.Variant[k] = v
+		} else {
+			nameParts = append(nameParts, p)
+		}
+	}
+	res.Name = strings.Join(nameParts, "/")
+	return family, res
+}

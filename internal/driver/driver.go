@@ -97,6 +97,13 @@ type Config struct {
 	// TelemetryInterval is the sampling period. Defaults to 10 s, the YCSB
 	// status-line default.
 	TelemetryInterval time.Duration
+	// HealthInterval is the runtime health sampler's period: with Telemetry
+	// set, the run samples runtime.ReadMemStats, goroutine count and RSS
+	// into the registry (gauges "runtime.*", histogram "gc.pause") so the
+	// interval series and report can correlate throughput dips with GC and
+	// heap behaviour. 0 selects the telemetry default (1 s); negative
+	// disables the sampler (benchmarks that want a silent process).
+	HealthInterval time.Duration
 	// Tracer, when non-nil, is the distributed-trace sampler shared with the
 	// SUT's clients. The driver itself never starts spans; it drains the
 	// tracer's slow-trace list into the Result so the report can render the
@@ -282,6 +289,13 @@ func Run(cfg Config) (*Result, error) {
 		TotalKVPs:      c.TotalKVPs,
 		SUTDescription: c.SUT.Describe(),
 		Compliant:      c.MinWorkloadSeconds >= audit.MinWorkloadSeconds,
+	}
+
+	// Runtime health sampling for the whole run; every execution's interval
+	// series picks the runtime.* gauges up automatically.
+	if c.Telemetry != nil && c.HealthInterval >= 0 {
+		sampler := telemetry.StartHealthSampler(c.Telemetry, c.HealthInterval)
+		defer sampler.Stop()
 	}
 
 	// Prerequisite checks: file check (when a manifest is supplied) and the

@@ -50,6 +50,8 @@ func (r *Result) Report() string {
 	}
 
 	writeTelemetry(&b, r.Telemetry)
+	writeStorage(&b, r.Telemetry)
+	writeRuntimeHealth(&b, r)
 	writeSlowTraces(&b, r.SlowTraces)
 
 	fmt.Fprintf(&b, "Primary metrics\n---------------\n")
@@ -195,6 +197,100 @@ func writeRegionTable(b *strings.Builder, t *telemetry.Summary) {
 	}
 }
 
+// writeStorage renders the byte-level resource ledger: where every logical
+// byte went (WAL, flush, compaction), the derived amplification factors, and
+// the read-path efficiency counters (block cache, Bloom filters).
+func writeStorage(b *strings.Builder, t *telemetry.Summary) {
+	if t == nil {
+		return
+	}
+	logical := counterValue(t, "lsm.logical_bytes")
+	if logical == 0 {
+		return
+	}
+	walB := counterValue(t, "wal.bytes")
+	flushB := counterValue(t, "lsm.flush_bytes")
+	compR := counterValue(t, "lsm.compact_read_bytes")
+	compW := counterValue(t, "lsm.compact_write_bytes")
+
+	fmt.Fprintf(b, "Storage\n-------\n")
+	fmt.Fprintf(b, "  logical bytes written:   %s\n", mib(logical))
+	fmt.Fprintf(b, "  WAL bytes:               %s\n", mib(walB))
+	fmt.Fprintf(b, "  flush bytes:             %s\n", mib(flushB))
+	fmt.Fprintf(b, "  compaction read/rewrite: %s / %s\n", mib(compR), mib(compW))
+	fmt.Fprintf(b, "  write amplification:     %.3fx  ((WAL+flush+compact)/logical)\n",
+		float64(walB+flushB+compW)/float64(logical))
+	fmt.Fprintf(b, "  compaction debt:         %s  (tables: %d, %s on disk)\n",
+		mib(gaugeValue(t, "lsm.compaction_debt_bytes")),
+		gaugeValue(t, "lsm.tables"), mib(gaugeValue(t, "lsm.table_bytes")))
+
+	if logicalRead := counterValue(t, "lsm.logical_read_bytes"); logicalRead > 0 {
+		diskRead := gaugeValue(t, "lsm.disk_read_bytes")
+		fmt.Fprintf(b, "  logical bytes read:      %s  (%s from disk, read amp %.3fx)\n",
+			mib(logicalRead), mib(diskRead), float64(diskRead)/float64(logicalRead))
+	}
+	hits, misses := gaugeValue(t, "lsm.cache_hits"), gaugeValue(t, "lsm.cache_misses")
+	if hits+misses > 0 {
+		fmt.Fprintf(b, "  block cache:             %.1f%% hit rate (%d hits / %d misses)\n",
+			100*float64(hits)/float64(hits+misses), hits, misses)
+	}
+	bHits := counterValue(t, "lsm.bloom_hits")
+	bSkips := counterValue(t, "lsm.bloom_skips")
+	bFP := counterValue(t, "lsm.bloom_false_positives")
+	if probes := bHits + bSkips + bFP; probes > 0 {
+		fmt.Fprintf(b, "  bloom filters:           %d tables skipped, %.2f%% false positives (%d/%d probes)\n",
+			bSkips, 100*float64(bFP)/float64(probes), bFP, probes)
+	}
+	if saved := counterValue(t, "wal.group_commit_shared"); saved > 0 {
+		fmt.Fprintf(b, "  fsyncs saved by group commit: %d (%d leader syncs)\n",
+			saved, counterValue(t, "wal.group_commit_syncs"))
+	}
+	fmt.Fprintf(b, "\n")
+}
+
+// writeRuntimeHealth renders the health sampler's view of the run: peak and
+// mean heap, RSS and goroutine count from the interval series, plus GC pause
+// quantiles from the run-wide histogram. Silent when the sampler was off.
+func writeRuntimeHealth(b *strings.Builder, r *Result) {
+	t := r.Telemetry
+	if t == nil {
+		return
+	}
+	var s *telemetry.Series
+	for i := len(r.Iterations) - 1; i >= 0; i-- {
+		if ser := r.Iterations[i].Measured.Series; ser != nil && len(ser.Points) > 0 {
+			s = ser
+			break
+		}
+	}
+	if s == nil {
+		return
+	}
+	heapPeak, heapMean, ok := s.GaugeStats("runtime.heap_alloc_bytes")
+	if !ok {
+		return // sampler disabled for this run
+	}
+	fmt.Fprintf(b, "Runtime health\n--------------\n")
+	fmt.Fprintf(b, "  heap alloc:  peak %s  mean %s\n", mib(heapPeak), mib(int64(heapMean)))
+	if rssPeak, rssMean, ok := s.GaugeStats("runtime.rss_bytes"); ok && rssPeak > 0 {
+		fmt.Fprintf(b, "  RSS:         peak %s  mean %s\n", mib(rssPeak), mib(int64(rssMean)))
+	}
+	if gPeak, gMean, ok := s.GaugeStats("runtime.goroutines"); ok {
+		fmt.Fprintf(b, "  goroutines:  peak %d  mean %.0f\n", gPeak, gMean)
+	}
+	if gcs := gaugeValue(t, "runtime.gc_count"); gcs > 0 {
+		fmt.Fprintf(b, "  GC cycles:   %d\n", gcs)
+	}
+	if pause, ok := t.Histogram("gc.pause"); ok && pause.Count() > 0 {
+		fmt.Fprintf(b, "  GC pauses:   %d  p50 %.3fms  p95 %.3fms  max %.3fms\n",
+			pause.Count(), msI(pause.Percentile(50)), msI(pause.Percentile(95)), msI(pause.Max()))
+	}
+	fmt.Fprintf(b, "\n")
+}
+
+// mib renders a byte count as mebibytes for the report.
+func mib(n int64) string { return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20)) }
+
 // slowTracePrintCap bounds the slow traces rendered in the report.
 const slowTracePrintCap = 5
 
@@ -246,6 +342,16 @@ func counterValue(t *telemetry.Summary, name string) int64 {
 	for _, c := range t.Counters {
 		if c.Name == name {
 			return c.Value
+		}
+	}
+	return 0
+}
+
+// gaugeValue looks up one gauge in the summary (0 when absent).
+func gaugeValue(t *telemetry.Summary, name string) int64 {
+	for _, g := range t.Gauges {
+		if g.Name == name {
+			return g.Value
 		}
 	}
 	return 0

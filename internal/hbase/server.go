@@ -3,6 +3,7 @@ package hbase
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -135,6 +136,19 @@ func (s *RegionServer) forgetRegion(name string) {
 	s.mu.Lock()
 	delete(s.regions, name)
 	s.mu.Unlock()
+}
+
+// Regions returns the replicas hosted on this server, sorted by region
+// name, for introspection (the cluster's /storage and /healthz documents).
+func (s *RegionServer) Regions() []*region.Region {
+	s.mu.RLock()
+	out := make([]*region.Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		out = append(out, r)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Info().Name < out[j].Info().Name })
+	return out
 }
 
 // Mutation is one write in a batched RPC. It is an alias for the engine's

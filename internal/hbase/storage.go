@@ -1,0 +1,157 @@
+package hbase
+
+import (
+	"sort"
+	"time"
+
+	"tpcxiot/internal/lsm"
+)
+
+// RegionStorage is one hosted replica's view in a StorageReport: the
+// engine's cumulative stats plus its live table files.
+type RegionStorage struct {
+	Region string          `json:"region"`
+	Server int             `json:"server"`
+	Stats  lsm.Stats       `json:"stats"`
+	Tables []lsm.TableStat `json:"tables"`
+}
+
+// StorageReport is the /storage document: the cluster-wide amplification
+// ledger with per-replica breakdowns. Totals sums every replica's stats, so
+// with replication factor R the physical write traffic is roughly R× a
+// single copy's — that is the point: the report shows what the cluster
+// actually wrote, not what one store did.
+type StorageReport struct {
+	Timestamp time.Time `json:"timestamp"`
+	Servers   int       `json:"servers"`
+
+	// Totals is the component-wise sum over every hosted replica.
+	Totals lsm.Stats `json:"totals"`
+
+	// Derived ratios over Totals, precomputed so consumers need no math.
+	WriteAmplification     float64 `json:"write_amplification"`
+	ReadAmplification      float64 `json:"read_amplification"`
+	CacheHitRate           float64 `json:"cache_hit_rate"`
+	BloomFalsePositiveRate float64 `json:"bloom_false_positive_rate"`
+
+	Regions []RegionStorage `json:"regions"`
+}
+
+// addStats accumulates b into a component-wise. Ratios are recomputed from
+// the summed ledger by the caller, never summed themselves.
+func addStats(a *lsm.Stats, b lsm.Stats) {
+	a.Puts += b.Puts
+	a.Deletes += b.Deletes
+	a.Gets += b.Gets
+	a.Scans += b.Scans
+	a.Flushes += b.Flushes
+	a.Compactions += b.Compactions
+	a.StallEvents += b.StallEvents
+	a.BatchApplies += b.BatchApplies
+	a.LogicalBytes += b.LogicalBytes
+	a.WALBytes += b.WALBytes
+	a.FlushBytes += b.FlushBytes
+	a.CompactReadBytes += b.CompactReadBytes
+	a.CompactWriteBytes += b.CompactWriteBytes
+	a.LogicalReadBytes += b.LogicalReadBytes
+	a.DiskReadBytes += b.DiskReadBytes
+	a.BloomHits += b.BloomHits
+	a.BloomSkips += b.BloomSkips
+	a.BloomFalsePositives += b.BloomFalsePositives
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.CacheEvictions += b.CacheEvictions
+	a.CacheUsedBytes += b.CacheUsedBytes
+	a.Tables += b.Tables
+	a.TableBytes += b.TableBytes
+	a.MemtableBytes += b.MemtableBytes
+	a.CompactionDebtBytes += b.CompactionDebtBytes
+}
+
+// Storage snapshots every hosted replica's engine stats and table files
+// into one report. Safe to call concurrently with ingest; each replica is
+// snapshotted independently, so the totals are approximate under load.
+func (cl *Cluster) Storage() StorageReport {
+	rep := StorageReport{Timestamp: time.Now()}
+	for _, srv := range cl.Servers() {
+		rep.Servers++
+		for _, r := range srv.Regions() {
+			rep.Regions = append(rep.Regions, RegionStorage{
+				Region: r.Info().Name,
+				Server: srv.ID(),
+				Stats:  r.Stats(),
+				Tables: r.TableStats(),
+			})
+		}
+	}
+	sort.Slice(rep.Regions, func(i, j int) bool {
+		if rep.Regions[i].Region != rep.Regions[j].Region {
+			return rep.Regions[i].Region < rep.Regions[j].Region
+		}
+		return rep.Regions[i].Server < rep.Regions[j].Server
+	})
+	for i := range rep.Regions {
+		addStats(&rep.Totals, rep.Regions[i].Stats)
+	}
+	rep.WriteAmplification = rep.Totals.WriteAmplification()
+	rep.ReadAmplification = rep.Totals.ReadAmplification()
+	rep.CacheHitRate = rep.Totals.CacheHitRate()
+	rep.BloomFalsePositiveRate = rep.Totals.BloomFalsePositiveRate()
+	return rep
+}
+
+// RegionHealth is one replica's liveness in a HealthReport.
+type RegionHealth struct {
+	Region string     `json:"region"`
+	Server int        `json:"server"`
+	Health lsm.Health `json:"health"`
+}
+
+// HealthReport is the /healthz document. OK means every replica is open
+// and no writer is blocked on store-file backpressure; Unhealthy lists
+// only the replicas that are not OK, so a healthy cluster's report is
+// small no matter its size.
+type HealthReport struct {
+	Timestamp    time.Time `json:"timestamp"`
+	OK           bool      `json:"ok"`
+	Regions      int       `json:"regions"`
+	Stalled      int       `json:"stalled"`       // replicas with blocked writers
+	StallWaiters int64     `json:"stall_waiters"` // writers blocked cluster-wide
+	FlushPending int       `json:"flush_pending"` // replicas with an immutable memtable
+
+	Unhealthy []RegionHealth `json:"unhealthy,omitempty"`
+}
+
+// Health reports cluster liveness: stalls and flush backlog across every
+// hosted replica.
+func (cl *Cluster) Health() HealthReport {
+	rep := HealthReport{Timestamp: time.Now(), OK: true}
+	for _, srv := range cl.Servers() {
+		for _, r := range srv.Regions() {
+			h := r.Health()
+			rep.Regions++
+			if h.Stalled {
+				rep.Stalled++
+			}
+			rep.StallWaiters += h.StallWaiters
+			if h.FlushPending {
+				rep.FlushPending++
+			}
+			if !h.OK() {
+				rep.OK = false
+				rep.Unhealthy = append(rep.Unhealthy, RegionHealth{
+					Region: r.Info().Name,
+					Server: srv.ID(),
+					Health: h,
+				})
+			}
+		}
+	}
+	sort.Slice(rep.Unhealthy, func(i, j int) bool {
+		if rep.Unhealthy[i].Region != rep.Unhealthy[j].Region {
+			return rep.Unhealthy[i].Region < rep.Unhealthy[j].Region
+		}
+		return rep.Unhealthy[i].Server < rep.Unhealthy[j].Server
+	})
+	return rep
+}

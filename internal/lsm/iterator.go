@@ -21,10 +21,16 @@ import (
 // concurrent use, but any number of iterators may run concurrently with
 // each other and with writers.
 type Iter struct {
+	store  *Store
 	held   []*tableHandle
 	merged *mergeIterator
 	hi     []byte // exclusive upper bound; nil = end of keyspace
 	closed bool
+
+	// bytesRead accumulates the user bytes this iterator yielded, counted
+	// locally and flushed to the store's read ledger once at Close so long
+	// scans cost no per-row atomics.
+	bytesRead int64
 }
 
 // NewIterator opens a streaming iterator over live entries with
@@ -60,9 +66,19 @@ func (s *Store) NewIterator(lo, hi []byte) (*Iter, error) {
 	s.mu.RUnlock()
 	s.scans.Add(1)
 
-	it := &Iter{held: held, merged: newMergeIterator(sources), hi: hi}
+	it := &Iter{store: s, held: held, merged: newMergeIterator(sources), hi: hi}
 	it.skipDead()
+	it.account()
 	return it, nil
+}
+
+// account charges the entry the iterator currently rests on to the local
+// read ledger. Called once per positioning, never per Key/Value access.
+func (it *Iter) account() {
+	if it.merged.Valid() {
+		// len(Value())-1 strips the live tag byte callers never see.
+		it.bytesRead += int64(len(it.merged.Key()) + len(it.merged.Value()) - 1)
+	}
 }
 
 // skipDead advances the merge past tombstones and clamps at the upper
@@ -97,6 +113,7 @@ func (it *Iter) Next() {
 	}
 	it.merged.Next()
 	it.skipDead()
+	it.account()
 }
 
 // Error returns the first source error encountered.
@@ -108,6 +125,11 @@ func (it *Iter) Close() error {
 		return nil
 	}
 	it.closed = true
+	if it.bytesRead > 0 {
+		it.store.logicalReadBytes.Add(it.bytesRead)
+		it.store.met.logicalReadC.Add(it.bytesRead)
+		it.bytesRead = 0
+	}
 	for _, t := range it.held {
 		t.release()
 	}

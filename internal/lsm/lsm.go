@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tpcxiot/internal/memtable"
 	"tpcxiot/internal/sstable"
@@ -70,10 +71,16 @@ type Options struct {
 	DisableAutoFlush bool
 	// Registry, when non-nil, receives engine telemetry: the counters
 	// "lsm.flushes", "lsm.compactions", "lsm.stalls", "lsm.batch_applies"
-	// and "wal.truncate_errors", the gauge "lsm.memtable_bytes", and the
-	// put-path stage histograms "put.memstore" and "put.region_flush". The
-	// registry is also handed to the store's WAL. A nil registry keeps the
-	// hot paths free of clock reads.
+	// and "wal.truncate_errors", the byte-accounting counters
+	// "lsm.logical_bytes", "lsm.logical_read_bytes", "lsm.flush_bytes",
+	// "lsm.compact_read_bytes" and "lsm.compact_write_bytes", the
+	// Bloom-filter counters "lsm.bloom_hits", "lsm.bloom_skips" and
+	// "lsm.bloom_false_positives", the gauges "lsm.memtable_bytes",
+	// "lsm.table_bytes", "lsm.tables", "lsm.compaction_debt_bytes",
+	// "lsm.cache_hits", "lsm.cache_misses" and "lsm.disk_read_bytes", and
+	// the put-path stage histograms "put.memstore" and "put.region_flush".
+	// The registry is also handed to the store's WAL. A nil registry keeps
+	// the hot paths free of clock reads.
 	Registry *telemetry.Registry
 	// Tags, when non-empty, additionally registers the engine's counters
 	// and gauge under tagged names (e.g. "lsm.batch_applies{region=...,
@@ -142,6 +149,29 @@ type Store struct {
 	flushes, compactions, stalls atomic.Int64
 	batchApplies                 atomic.Int64
 
+	// Byte-level resource accounting (the amplification ledger). All are
+	// cumulative atomics updated on the paths that move the bytes: logical
+	// bytes are user keys+values accepted into the store; WAL bytes are what
+	// those writes cost in log framing; flush and compaction bytes are the
+	// physical SSTable traffic; logical read bytes are user bytes returned
+	// by gets and iterators (disk read bytes live on the block cache).
+	logicalBytes      atomic.Int64
+	walBytes          atomic.Int64
+	flushBytes        atomic.Int64
+	compactReadBytes  atomic.Int64
+	compactWriteBytes atomic.Int64
+	logicalReadBytes  atomic.Int64
+
+	// Bloom-filter effectiveness on the table read path: skips are definite
+	// negatives (a table ruled out without a block read), hits are positive
+	// probes where the key was found, false positives are positive probes
+	// where it was not.
+	bloomHits, bloomSkips, bloomFP atomic.Int64
+
+	// stallWaiters counts writers currently blocked on MaxStoreFiles
+	// backpressure; nonzero means the store is stalled right now.
+	stallWaiters atomic.Int64
+
 	met  storeMetrics
 	elog *telemetry.Logger // structured event log; nil-safe
 }
@@ -158,12 +188,26 @@ type storeMetrics struct {
 	memSpan      *telemetry.Timer // put.memstore: WAL-ack to memtable-visible
 	flushSpan    *telemetry.Timer // put.region_flush: memtable to table file
 
+	// Byte-accounting and Bloom counters (see the atomics on Store).
+	logicalBytesC *telemetry.Counter
+	logicalReadC  *telemetry.Counter
+	flushBytesC   *telemetry.Counter
+	compactReadC  *telemetry.Counter
+	compactWriteC *telemetry.Counter
+	bloomHitsC    *telemetry.Counter
+	bloomSkipsC   *telemetry.Counter
+	bloomFPC      *telemetry.Counter
+
 	// Per-region tagged variants, resolved only when Options.Tags is set
 	// (nil — and thus free — otherwise). The untagged instruments above are
 	// the cluster-wide roll-up; these carry the region/server breakdown.
 	flushesTagged      *telemetry.Counter
 	stallsTagged       *telemetry.Counter
 	batchAppliesTagged *telemetry.Counter
+	logicalBytesTagged *telemetry.Counter
+	flushBytesTagged   *telemetry.Counter
+	compactReadTagged  *telemetry.Counter
+	compactWriteTagged *telemetry.Counter
 }
 
 // tableHandle pairs a reader with its file path. Handles are reference
@@ -176,10 +220,21 @@ type tableHandle struct {
 	reader *sstable.Reader
 	refs   atomic.Int32
 	doomed atomic.Bool // delete the file once the last reference drops
+
+	// Introspection metadata, immutable after construction. size mirrors
+	// reader.Size so stats never touch a possibly-closed reader; tombstones
+	// is counted at write time (flush knows, compaction output has none) and
+	// is -1 for tables recovered at open, where counting would mean a scan.
+	size       int64
+	tombstones int64
+	created    time.Time
 }
 
 func newTableHandle(id uint64, path string, reader *sstable.Reader) *tableHandle {
-	t := &tableHandle{id: id, path: path, reader: reader}
+	t := &tableHandle{
+		id: id, path: path, reader: reader,
+		size: reader.Size(), tombstones: -1, created: time.Now(),
+	}
 	t.refs.Store(1) // the table set's reference
 	return t
 }
@@ -198,16 +253,95 @@ func (t *tableHandle) release() {
 	}
 }
 
-// Stats reports cumulative engine activity.
+// Stats reports cumulative engine activity: operation counts, the
+// byte-level amplification ledger, Bloom-filter and block-cache
+// effectiveness, and the current shape of the table set. It is the one-stop
+// snapshot — prefer it over the per-facet getters.
 type Stats struct {
-	Puts         int64
-	Deletes      int64
-	Gets         int64
-	Scans        int64
-	Flushes      int64
-	Compactions  int64
-	StallEvents  int64 // writes that blocked on MaxStoreFiles
-	BatchApplies int64 // apply rounds; (Puts+Deletes)/BatchApplies = mean batch size
+	Puts         int64 `json:"puts"`
+	Deletes      int64 `json:"deletes"`
+	Gets         int64 `json:"gets"`
+	Scans        int64 `json:"scans"`
+	Flushes      int64 `json:"flushes"`
+	Compactions  int64 `json:"compactions"`
+	StallEvents  int64 `json:"stall_events"`  // writes that blocked on MaxStoreFiles
+	BatchApplies int64 `json:"batch_applies"` // apply rounds; (Puts+Deletes)/BatchApplies = mean batch size
+
+	// Write-side amplification ledger. LogicalBytes is the user payload
+	// accepted (keys + live values); WALBytes, FlushBytes and
+	// CompactWriteBytes are the physical writes that payload cost; their sum
+	// over LogicalBytes is the write amplification. CompactReadBytes is what
+	// compactions re-read and measures churn (it appears in read traffic, not
+	// write amplification).
+	LogicalBytes      int64 `json:"logical_bytes"`
+	WALBytes          int64 `json:"wal_bytes"`
+	FlushBytes        int64 `json:"flush_bytes"`
+	CompactReadBytes  int64 `json:"compact_read_bytes"`
+	CompactWriteBytes int64 `json:"compact_write_bytes"`
+
+	// Read-side ledger: user bytes returned by gets and scans, versus raw
+	// bytes the table readers pulled from disk (block-cache misses plus
+	// metadata loads). Their ratio is the read amplification.
+	LogicalReadBytes int64 `json:"logical_read_bytes"`
+	DiskReadBytes    int64 `json:"disk_read_bytes"`
+
+	// Bloom-filter effectiveness on table lookups: skips are definite
+	// negatives, hits found the key, false positives probed and missed.
+	BloomHits           int64 `json:"bloom_hits"`
+	BloomSkips          int64 `json:"bloom_skips"`
+	BloomFalsePositives int64 `json:"bloom_false_positives"`
+
+	// Block-cache effectiveness (shared across the store's tables).
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheUsedBytes int64 `json:"cache_used_bytes"`
+
+	// Current shape: live table files, their total size, the active
+	// memtable's occupancy, and the compaction debt — bytes a full compaction
+	// would have to rewrite right now (0 when the store is fully compacted).
+	Tables              int   `json:"tables"`
+	TableBytes          int64 `json:"table_bytes"`
+	MemtableBytes       int64 `json:"memtable_bytes"`
+	CompactionDebtBytes int64 `json:"compaction_debt_bytes"`
+}
+
+// WriteAmplification is physical write bytes (WAL + flush + compaction
+// rewrite) over logical bytes; 0 before any write.
+func (st Stats) WriteAmplification() float64 {
+	if st.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(st.WALBytes+st.FlushBytes+st.CompactWriteBytes) / float64(st.LogicalBytes)
+}
+
+// ReadAmplification is disk read bytes over logical read bytes; 0 before
+// any read.
+func (st Stats) ReadAmplification() float64 {
+	if st.LogicalReadBytes == 0 {
+		return 0
+	}
+	return float64(st.DiskReadBytes) / float64(st.LogicalReadBytes)
+}
+
+// BloomFalsePositiveRate is false positives over all positive probes plus
+// skips — the fraction of filter consultations that cost a wasted table
+// read; 0 before any filtered lookup.
+func (st Stats) BloomFalsePositiveRate() float64 {
+	total := st.BloomHits + st.BloomSkips + st.BloomFalsePositives
+	if total == 0 {
+		return 0
+	}
+	return float64(st.BloomFalsePositives) / float64(total)
+}
+
+// CacheHitRate is block-cache hits over lookups; 0 before any lookup.
+func (st Stats) CacheHitRate() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
 }
 
 // Open opens (creating or recovering) the store in opts.Dir.
@@ -226,20 +360,40 @@ func Open(opts Options) (*Store, error) {
 	s.seedCount = 1
 	s.encPool.New = func() any { return new(encodeBuf) }
 	s.met = storeMetrics{
-		flushes:      o.Registry.Counter("lsm.flushes"),
-		compactions:  o.Registry.Counter("lsm.compactions"),
-		stalls:       o.Registry.Counter("lsm.stalls"),
-		truncErrs:    o.Registry.Counter("wal.truncate_errors"),
-		batchApplies: o.Registry.Counter("lsm.batch_applies"),
-		memSpan:      o.Registry.Timer("put.memstore"),
-		flushSpan:    o.Registry.Timer("put.region_flush"),
+		flushes:       o.Registry.Counter("lsm.flushes"),
+		compactions:   o.Registry.Counter("lsm.compactions"),
+		stalls:        o.Registry.Counter("lsm.stalls"),
+		truncErrs:     o.Registry.Counter("wal.truncate_errors"),
+		batchApplies:  o.Registry.Counter("lsm.batch_applies"),
+		memSpan:       o.Registry.Timer("put.memstore"),
+		flushSpan:     o.Registry.Timer("put.region_flush"),
+		logicalBytesC: o.Registry.Counter("lsm.logical_bytes"),
+		logicalReadC:  o.Registry.Counter("lsm.logical_read_bytes"),
+		flushBytesC:   o.Registry.Counter("lsm.flush_bytes"),
+		compactReadC:  o.Registry.Counter("lsm.compact_read_bytes"),
+		compactWriteC: o.Registry.Counter("lsm.compact_write_bytes"),
+		bloomHitsC:    o.Registry.Counter("lsm.bloom_hits"),
+		bloomSkipsC:   o.Registry.Counter("lsm.bloom_skips"),
+		bloomFPC:      o.Registry.Counter("lsm.bloom_false_positives"),
 	}
 	o.Registry.Gauge("lsm.memtable_bytes", s.MemtableBytes)
+	o.Registry.Gauge("lsm.table_bytes", s.tableBytesGauge)
+	o.Registry.Gauge("lsm.tables", func() int64 { return int64(s.TableCount()) })
+	o.Registry.Gauge("lsm.compaction_debt_bytes", s.compactionDebtGauge)
+	o.Registry.Gauge("lsm.cache_hits", func() int64 { return s.cache.Stats().Hits })
+	o.Registry.Gauge("lsm.cache_misses", func() int64 { return s.cache.Stats().Misses })
+	o.Registry.Gauge("lsm.disk_read_bytes", func() int64 { return s.cache.Stats().DiskReadBytes })
+	RegisterDerivedGauges(o.Registry)
 	if len(o.Tags) > 0 {
 		s.met.flushesTagged = o.Registry.CounterTagged("lsm.flushes", o.Tags...)
 		s.met.stallsTagged = o.Registry.CounterTagged("lsm.stalls", o.Tags...)
 		s.met.batchAppliesTagged = o.Registry.CounterTagged("lsm.batch_applies", o.Tags...)
+		s.met.logicalBytesTagged = o.Registry.CounterTagged("lsm.logical_bytes", o.Tags...)
+		s.met.flushBytesTagged = o.Registry.CounterTagged("lsm.flush_bytes", o.Tags...)
+		s.met.compactReadTagged = o.Registry.CounterTagged("lsm.compact_read_bytes", o.Tags...)
+		s.met.compactWriteTagged = o.Registry.CounterTagged("lsm.compact_write_bytes", o.Tags...)
 		o.Registry.GaugeTagged("lsm.memtable_bytes", s.MemtableBytes, o.Tags...)
+		o.Registry.GaugeTagged("lsm.table_bytes", s.tableBytesGauge, o.Tags...)
 	}
 	s.elog = o.Logger
 	if s.elog != nil && len(o.Tags) > 0 {
@@ -309,7 +463,13 @@ func (s *Store) loadTables() error {
 		if err != nil {
 			return fmt.Errorf("%w: table %s: %v", ErrCorrupt, f.path, err)
 		}
-		s.tables = append(s.tables, newTableHandle(f.id, f.path, r))
+		h := newTableHandle(f.id, f.path, r)
+		// Recovered tables predate this process; their write time is the
+		// file's mtime, not now.
+		if st, err := os.Stat(f.path); err == nil {
+			h.created = st.ModTime()
+		}
+		s.tables = append(s.tables, h)
 		if f.id >= s.nextID {
 			s.nextID = f.id + 1
 		}
@@ -422,9 +582,17 @@ func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 	if len(writes) == 0 {
 		return nil
 	}
+	// Validation doubles as the logical-byte count: the user payload this
+	// batch asks the store to persist, before any log framing or table
+	// encoding. Tombstones carry only their key.
+	var logical int64
 	for i := range writes {
 		if len(writes[i].Key) == 0 {
 			return ErrBadKey
+		}
+		logical += int64(len(writes[i].Key))
+		if !writes[i].Delete {
+			logical += int64(len(writes[i].Value))
 		}
 	}
 	batchSp := parent.Child("lsm.apply_batch")
@@ -439,6 +607,7 @@ func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 	// like hbase.hstore.blockingStoreFiles. Checked once per batch.
 	if len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
 		stallSp := batchSp.Child("lsm.stall_wait")
+		s.stallWaiters.Add(1)
 		for len(s.tables) >= s.opts.MaxStoreFiles && !s.closed {
 			s.stalls.Add(1)
 			s.met.stalls.Inc()
@@ -446,6 +615,7 @@ func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 			s.startMaintenanceLocked()
 			s.flushCond.Wait()
 		}
+		s.stallWaiters.Add(-1)
 		stallSp.End()
 	}
 	if s.closed {
@@ -461,6 +631,10 @@ func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 	eb := s.encPool.Get().(*encodeBuf)
 	defer s.encPool.Put(eb)
 	recs := eb.encode(writes)
+	var walCost int64
+	for _, rec := range recs {
+		walCost += int64(len(rec)) + wal.RecordOverhead
+	}
 	walSp := batchSp.Child("wal.append")
 	err := log.AppendTraced(walSp, recs...)
 	walSp.End()
@@ -508,6 +682,10 @@ func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 	s.batchApplies.Add(1)
 	s.met.batchApplies.Inc()
 	s.met.batchAppliesTagged.Inc()
+	s.logicalBytes.Add(logical)
+	s.walBytes.Add(walCost)
+	s.met.logicalBytesC.Add(logical)
+	s.met.logicalBytesTagged.Add(logical)
 	shouldFlush := !s.opts.DisableAutoFlush &&
 		s.active.Size() >= s.opts.MemtableSize && s.imm == nil
 	if shouldFlush {
@@ -607,7 +785,11 @@ func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 	}
 	it := imm.NewIterator()
 	it.SeekToFirst()
+	var tombs int64
 	for ; it.Valid(); it.Next() {
+		if v := it.Value(); len(v) > 0 && v[0] == tagTombstone {
+			tombs++
+		}
 		if err := w.Add(it.Key(), it.Value()); err != nil {
 			w.Abort()
 			return err
@@ -631,13 +813,18 @@ func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 	if err != nil {
 		return err
 	}
+	h := newTableHandle(id, path, r)
+	h.tombstones = tombs
 
 	s.mu.Lock()
-	s.tables = append([]*tableHandle{newTableHandle(id, path, r)}, s.tables...)
+	s.tables = append([]*tableHandle{h}, s.tables...)
 	s.imm = nil
 	s.flushes.Add(1)
 	s.met.flushes.Inc()
 	s.met.flushesTagged.Inc()
+	s.flushBytes.Add(h.size)
+	s.met.flushBytesC.Add(h.size)
+	s.met.flushBytesTagged.Add(h.size)
 	s.flushCond.Broadcast()
 	s.mu.Unlock()
 
@@ -727,8 +914,18 @@ func (s *Store) compact() error {
 		w.Abort()
 		return err
 	}
+	// The merge read every input in full; account those bytes whether or not
+	// anything survives (an all-tombstone merge still did the I/O).
+	var readBytes int64
+	for _, t := range old {
+		readBytes += t.size
+	}
+	s.compactReadBytes.Add(readBytes)
+	s.met.compactReadC.Add(readBytes)
+	s.met.compactReadTagged.Add(readBytes)
 
 	var newTables []*tableHandle
+	var writeBytes int64
 	if wrote == 0 {
 		w.Abort()
 	} else {
@@ -742,8 +939,14 @@ func (s *Store) compact() error {
 		if err != nil {
 			return err
 		}
-		newTables = []*tableHandle{newTableHandle(id, path, r)}
+		h := newTableHandle(id, path, r)
+		h.tombstones = 0 // full compaction drops every tombstone
+		newTables = []*tableHandle{h}
+		writeBytes = h.size
 	}
+	s.compactWriteBytes.Add(writeBytes)
+	s.met.compactWriteC.Add(writeBytes)
+	s.met.compactWriteTagged.Add(writeBytes)
 
 	s.mu.Lock()
 	// Tables flushed while we compacted sit in front of `old`; keep them.
@@ -794,23 +997,53 @@ func (s *Store) Get(key []byte) (value []byte, ok bool, err error) {
 	s.gets.Add(1)
 
 	if v, found := active.Get(key); found {
-		return decodeLive(v)
+		return s.returnLive(key, v)
 	}
 	if imm != nil {
 		if v, found := imm.Get(key); found {
-			return decodeLive(v)
+			return s.returnLive(key, v)
 		}
 	}
 	for _, t := range tables {
-		v, err := t.reader.Get(key)
+		r := t.reader
+		// Classify the Bloom probe ourselves (Reader.Get would consult the
+		// filter too, but cannot tell us which way it went). Only tables that
+		// actually carry a filter can score a hit, skip or false positive.
+		filtered := r.FilterPresent()
+		if filtered && !r.MayContain(key) {
+			s.bloomSkips.Add(1)
+			s.met.bloomSkipsC.Inc()
+			continue
+		}
+		v, err := r.Get(key)
 		if err == nil {
-			return decodeLive(v)
+			if filtered {
+				s.bloomHits.Add(1)
+				s.met.bloomHitsC.Inc()
+			}
+			return s.returnLive(key, v)
 		}
 		if !errors.Is(err, sstable.ErrNotFound) {
 			return nil, false, err
 		}
+		if filtered {
+			s.bloomFP.Add(1)
+			s.met.bloomFPC.Inc()
+		}
 	}
 	return nil, false, nil
+}
+
+// returnLive decodes a stored value and accounts the user bytes returned.
+// Tombstone hits return no payload and count nothing.
+func (s *Store) returnLive(key, stored []byte) ([]byte, bool, error) {
+	v, ok, err := decodeLive(stored)
+	if ok {
+		n := int64(len(key) + len(v))
+		s.logicalReadBytes.Add(n)
+		s.met.logicalReadC.Add(n)
+	}
+	return v, ok, err
 }
 
 func decodeLive(stored []byte) ([]byte, bool, error) {
@@ -847,9 +1080,10 @@ func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
 	return it.Error()
 }
 
-// Stats returns a snapshot of cumulative counters.
+// Stats returns a snapshot of cumulative counters, the amplification
+// ledger, and the store's current shape.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Puts:         s.puts.Load(),
 		Deletes:      s.deletes.Load(),
 		Gets:         s.gets.Load(),
@@ -858,10 +1092,184 @@ func (s *Store) Stats() Stats {
 		Compactions:  s.compactions.Load(),
 		StallEvents:  s.stalls.Load(),
 		BatchApplies: s.batchApplies.Load(),
+
+		LogicalBytes:      s.logicalBytes.Load(),
+		WALBytes:          s.walBytes.Load(),
+		FlushBytes:        s.flushBytes.Load(),
+		CompactReadBytes:  s.compactReadBytes.Load(),
+		CompactWriteBytes: s.compactWriteBytes.Load(),
+		LogicalReadBytes:  s.logicalReadBytes.Load(),
+
+		BloomHits:           s.bloomHits.Load(),
+		BloomSkips:          s.bloomSkips.Load(),
+		BloomFalsePositives: s.bloomFP.Load(),
 	}
+	cs := s.cache.Stats()
+	st.DiskReadBytes = cs.DiskReadBytes
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheEvictions = cs.Evictions
+	st.CacheUsedBytes = cs.UsedBytes
+
+	s.mu.RLock()
+	st.Tables = len(s.tables)
+	for _, t := range s.tables {
+		st.TableBytes += t.size
+	}
+	if st.Tables >= 2 {
+		st.CompactionDebtBytes = st.TableBytes
+	}
+	st.MemtableBytes = s.active.Size()
+	s.mu.RUnlock()
+	return st
+}
+
+// TableStat describes one live store file for introspection endpoints.
+// Keys are reported as strings (the benchmark keyspace is printable).
+// Tombstones is -1 for tables recovered at open, where the count is unknown
+// without a scan.
+type TableStat struct {
+	ID         uint64  `json:"id"`
+	Path       string  `json:"path"`
+	FirstKey   string  `json:"first_key"`
+	LastKey    string  `json:"last_key"`
+	SizeBytes  int64   `json:"size_bytes"`
+	Entries    uint64  `json:"entries"`
+	Tombstones int64   `json:"tombstones"`
+	AgeSeconds float64 `json:"age_seconds"`
+	HasBloom   bool    `json:"has_bloom"`
+}
+
+// TableStats reports every live table, newest first. The table set holds a
+// reference on each handle for as long as it is listed, so the readers are
+// open for the duration of the snapshot.
+func (s *Store) TableStats() []TableStat {
+	now := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]TableStat, 0, len(s.tables))
+	for _, t := range s.tables {
+		first, last := t.reader.Bounds()
+		out = append(out, TableStat{
+			ID:         t.id,
+			Path:       t.path,
+			FirstKey:   string(first),
+			LastKey:    string(last),
+			SizeBytes:  t.size,
+			Entries:    t.reader.EntryCount(),
+			Tombstones: t.tombstones,
+			AgeSeconds: now.Sub(t.created).Seconds(),
+			HasBloom:   t.reader.FilterPresent(),
+		})
+	}
+	return out
+}
+
+// Health is a point-in-time liveness view of the store, cheap enough for a
+// health endpoint to poll.
+type Health struct {
+	// Stalled reports writers blocked on MaxStoreFiles backpressure right
+	// now; StallWaiters is how many.
+	Stalled      bool  `json:"stalled"`
+	StallWaiters int64 `json:"stall_waiters"`
+	// FlushPending reports an immutable memtable waiting on (or in) flush.
+	FlushPending bool `json:"flush_pending"`
+	// Tables against the backpressure cap and compaction trigger.
+	Tables         int `json:"tables"`
+	MaxStoreFiles  int `json:"max_store_files"`
+	CompactTrigger int `json:"compact_trigger"`
+	// Active memtable fill against its flush threshold.
+	MemtableBytes int64 `json:"memtable_bytes"`
+	MemtableCap   int64 `json:"memtable_cap"`
+	Closed        bool  `json:"closed"`
+}
+
+// OK reports whether the store is open and accepting writes without
+// backpressure.
+func (h Health) OK() bool { return !h.Closed && !h.Stalled }
+
+// Health reports the store's current liveness.
+func (s *Store) Health() Health {
+	h := Health{
+		StallWaiters:   s.stallWaiters.Load(),
+		MaxStoreFiles:  s.opts.MaxStoreFiles,
+		CompactTrigger: s.opts.CompactTrigger,
+		MemtableCap:    s.opts.MemtableSize,
+	}
+	h.Stalled = h.StallWaiters > 0
+	s.mu.RLock()
+	h.FlushPending = s.imm != nil
+	h.Tables = len(s.tables)
+	h.MemtableBytes = s.active.Size()
+	h.Closed = s.closed
+	s.mu.RUnlock()
+	return h
+}
+
+// tableBytesGauge sums live table file sizes ("lsm.table_bytes").
+func (s *Store) tableBytesGauge() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, t := range s.tables {
+		n += t.size
+	}
+	return n
+}
+
+// compactionDebtGauge is the bytes a full compaction would rewrite right
+// now: the whole table set when there are at least two files, zero when the
+// store is already fully compacted ("lsm.compaction_debt_bytes").
+func (s *Store) compactionDebtGauge() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.tables) < 2 {
+		return 0
+	}
+	var n int64
+	for _, t := range s.tables {
+		n += t.size
+	}
+	return n
+}
+
+// RegisterDerivedGauges registers the cluster-level amplification ratios on
+// reg as milli-unit gauges (a value of 3200 means 3.2×): "lsm.write_amp_milli"
+// is (wal.bytes + lsm.flush_bytes + lsm.compact_write_bytes) over
+// lsm.logical_bytes, and "lsm.read_amp_milli" is lsm.disk_read_bytes over
+// lsm.logical_read_bytes. Registration is once-only (Registry.GaugeOnce):
+// ratios must not be registered per store, or a registry shared by N stores
+// would report N× the true value. Open calls this; exported for callers that
+// assemble registries without opening a store first. Nil-safe.
+func RegisterDerivedGauges(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	logical := reg.Counter("lsm.logical_bytes")
+	walB := reg.Counter("wal.bytes")
+	flushB := reg.Counter("lsm.flush_bytes")
+	compW := reg.Counter("lsm.compact_write_bytes")
+	reg.GaugeOnce("lsm.write_amp_milli", func() int64 {
+		l := logical.Load()
+		if l == 0 {
+			return 0
+		}
+		return (walB.Load() + flushB.Load() + compW.Load()) * 1000 / l
+	})
+	logicalRead := reg.Counter("lsm.logical_read_bytes")
+	reg.GaugeOnce("lsm.read_amp_milli", func() int64 {
+		lr := logicalRead.Load()
+		if lr == 0 {
+			return 0
+		}
+		return reg.GaugeValue("lsm.disk_read_bytes") * 1000 / lr
+	})
 }
 
 // TableCount returns the number of live store files.
+//
+// Deprecated: Stats().Tables reports the same value alongside the rest of
+// the store's shape; prefer one Stats call over per-facet getters.
 func (s *Store) TableCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -869,6 +1277,9 @@ func (s *Store) TableCount() int {
 }
 
 // MemtableBytes returns the active memtable's approximate size.
+//
+// Deprecated: Stats().MemtableBytes reports the same value; prefer one
+// Stats call over per-facet getters.
 func (s *Store) MemtableBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

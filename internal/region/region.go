@@ -161,6 +161,16 @@ func (r *Region) NewIterator(lo, hi []byte) (*lsm.Iter, error) {
 // SizeBytes approximates the region's unflushed data volume.
 func (r *Region) SizeBytes() int64 { return r.store.MemtableBytes() }
 
+// Stats snapshots the backing store's cumulative activity and amplification
+// ledger.
+func (r *Region) Stats() lsm.Stats { return r.store.Stats() }
+
+// TableStats reports the backing store's live table files, newest first.
+func (r *Region) TableStats() []lsm.TableStat { return r.store.TableStats() }
+
+// Health reports the backing store's liveness (stall, flush pressure).
+func (r *Region) Health() lsm.Health { return r.store.Health() }
+
 // Flush persists buffered writes to table files.
 func (r *Region) Flush() error { return r.store.Flush() }
 

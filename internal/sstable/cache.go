@@ -3,6 +3,7 @@ package sstable
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // BlockCache is a byte-bounded LRU cache of parsed data blocks, the
@@ -10,13 +11,62 @@ import (
 // readers (e.g. all tables of a store); entries are keyed by (reader,
 // offset) and evicted in least-recently-used order once the byte budget is
 // exceeded. Safe for concurrent use.
+//
+// The cache is also the read path's byte-accounting point: every data-block
+// lookup lands here, so hits, misses, evictions and the bytes its readers
+// pulled from disk (on misses and metadata loads) are counted as cheap
+// atomics, snapshotted by Stats.
 type BlockCache struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
 	order    *list.List // front = most recent; values are *cacheEntry
 	entries  map[cacheKey]*list.Element
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	diskReadBytes atomic.Int64 // raw bytes readers fetched from disk
 }
+
+// CacheStats is a point-in-time snapshot of a cache's effectiveness
+// counters. DiskReadBytes covers every disk read its readers performed:
+// data-block misses plus index/filter/footer loads at open.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	DiskReadBytes int64 `json:"disk_read_bytes"`
+	UsedBytes     int64 `json:"used_bytes"`
+	Blocks        int64 `json:"blocks"`
+}
+
+// HitRate is hits over lookups, 0 when the cache is untouched.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *BlockCache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		DiskReadBytes: c.diskReadBytes.Load(),
+	}
+	c.mu.Lock()
+	st.UsedBytes = c.used
+	st.Blocks = int64(c.order.Len())
+	c.mu.Unlock()
+	return st
+}
+
+// recordDiskRead accounts n raw bytes read from disk by an owning reader.
+func (c *BlockCache) recordDiskRead(n int64) { c.diskReadBytes.Add(n) }
 
 type cacheKey struct {
 	owner  *Reader
@@ -51,8 +101,10 @@ func (c *BlockCache) get(owner *Reader, offset uint64) (*block, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[cacheKey{owner, offset}]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).block, true
 }
@@ -80,6 +132,7 @@ func (c *BlockCache) put(owner *Reader, offset uint64, b *block) {
 		c.order.Remove(back)
 		delete(c.entries, e.key)
 		c.used -= e.size
+		c.evictions.Add(1)
 	}
 }
 

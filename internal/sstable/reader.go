@@ -127,6 +127,9 @@ func (r *Reader) readBlockRaw(h handle) ([]byte, error) {
 	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
 		return nil, fmt.Errorf("sstable: read block: %w", err)
 	}
+	if r.cache != nil {
+		r.cache.recordDiskRead(int64(len(buf)))
+	}
 	body := buf[:h.length]
 	want := uint32(buf[h.length]) | uint32(buf[h.length+1])<<8 |
 		uint32(buf[h.length+2])<<16 | uint32(buf[h.length+3])<<24
@@ -155,6 +158,14 @@ func (r *Reader) dataBlock(h handle) (*block, error) {
 
 // EntryCount returns the number of entries in the table.
 func (r *Reader) EntryCount() uint64 { return r.entries }
+
+// Size returns the table file's size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// FilterPresent reports whether the table carries a Bloom filter; when
+// false, MayContain is vacuously true and cannot be used to classify
+// lookups as filter hits or false positives.
+func (r *Reader) FilterPresent() bool { return r.filter != nil }
 
 // Bounds returns the smallest and largest keys. The slices are shared;
 // callers must not modify them.

@@ -95,6 +95,42 @@ func MountTrace(mux *http.ServeMux, t *Tracer) {
 	mux.Handle("/trace", TraceHandler(t))
 }
 
+// MountJSON mounts a handler at pattern that serves snapshot()'s result as
+// an indented JSON document, computed per request. The storage layer's
+// /storage endpoint is mounted this way; any introspection document works.
+// A nil snapshot mounts nothing.
+func MountJSON(mux *http.ServeMux, pattern string, snapshot func() any) {
+	if snapshot == nil {
+		return
+	}
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshot())
+	})
+}
+
+// MountHealth mounts a health endpoint at pattern: check() returns the body
+// document and whether the system is healthy; unhealthy responses carry
+// status 503 so load balancers and probes need only the status code. A nil
+// check mounts nothing.
+func MountHealth(mux *http.ServeMux, pattern string, check func() (doc any, ok bool)) {
+	if check == nil {
+		return
+	}
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+		doc, ok := check()
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}
+
 // Serve starts the observability HTTP server on addr (e.g. ":9090" or
 // "127.0.0.1:0") in a background goroutine and returns the server and the
 // bound address. The caller owns shutdown via srv.Close.
@@ -106,12 +142,20 @@ func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
 // completed-trace buffer as Chrome trace-event JSON. A nil tracer serves an
 // empty document.
 func ServeTraced(addr string, r *Registry, t *Tracer) (*http.Server, net.Addr, error) {
+	mux := NewServeMux(r)
+	MountTrace(mux, t)
+	return ServeMux(addr, mux)
+}
+
+// ServeMux starts the observability HTTP server on addr with a caller-built
+// mux — NewServeMux plus whatever MountTrace/MountJSON/MountHealth endpoints
+// the caller added — in a background goroutine, returning the server and the
+// bound address. The caller owns shutdown via srv.Close.
+func ServeMux(addr string, mux *http.ServeMux) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	mux := NewServeMux(r)
-	MountTrace(mux, t)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil

@@ -111,6 +111,42 @@ func (r *Registry) Gauge(name string, fn func() int64) {
 	r.mu.Unlock()
 }
 
+// GaugeOnce registers fn under name only when no gauge with that name
+// exists yet, and reports whether it registered. Derived gauges that
+// compute ratios over shared counters (write amplification, read
+// amplification) use it so opening several stores against one registry
+// does not sum N copies of the same ratio.
+func (r *Registry) GaugeOnce(name string, fn func() int64) bool {
+	if r == nil || fn == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; ok {
+		return false
+	}
+	r.gauges[name] = append(r.gauges[name], fn)
+	return true
+}
+
+// GaugeValue reads one named gauge — the sum of its registered functions —
+// returning 0 when absent or on a nil registry. The functions run outside
+// the registry lock, so a gauge may itself call GaugeValue for a different
+// name (derived ratio gauges do).
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	fns := append([]func() int64(nil), r.gauges[name]...)
+	r.mu.Unlock()
+	var sum int64
+	for _, fn := range fns {
+		sum += fn()
+	}
+	return sum
+}
+
 // Histogram returns the named histogram, creating it on first use. A nil
 // registry returns nil; prefer Timer for nil-safe duration recording.
 func (r *Registry) Histogram(name string) *histogram.Histogram {

@@ -123,6 +123,30 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// GaugeStats returns the peak and mean of one gauge across the series —
+// the report's "heap peaked at X, averaged Y" lines. The mean is over the
+// points where the gauge appears; ok is false when it never does.
+func (s *Series) GaugeStats(name string) (peak int64, mean float64, ok bool) {
+	var sum, n int64
+	for _, p := range s.Points {
+		for _, g := range p.Gauges {
+			if g.Name != name {
+				continue
+			}
+			if !ok || g.Value > peak {
+				peak = g.Value
+			}
+			sum += g.Value
+			n++
+			ok = true
+		}
+	}
+	if n > 0 {
+		mean = float64(sum) / float64(n)
+	}
+	return peak, mean, ok
+}
+
 // PeakRate returns the highest and lowest per-interval total op rates, for
 // compact report summaries. Zeroes when the series is empty.
 func (s *Series) PeakRate() (peak, trough float64) {

@@ -42,7 +42,7 @@ type SpanRecord struct {
 	SpanID   uint64 `json:"span_id"`
 	ParentID uint64 `json:"parent_id"` // 0 for the root span
 	Name     string `json:"name"`
-	Service  string `json:"service"` // emitting component, e.g. "client", "server-2", "node-00/iot,00001"
+	Service  string `json:"service"`  // emitting component, e.g. "client", "server-2", "node-00/iot,00001"
 	StartNs  int64  `json:"start_ns"` // wall clock, nanoseconds since the Unix epoch
 	DurNs    int64  `json:"dur_ns"`
 }

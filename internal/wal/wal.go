@@ -41,6 +41,11 @@ var (
 // appends of a full client write buffer stay well under this.
 const MaxRecordSize = 64 << 20
 
+// RecordOverhead is the per-record framing cost (length + CRC32C header)
+// the log adds on top of the record payload. Engines accounting their own
+// WAL byte volume add this per record appended.
+const RecordOverhead = headerLen
+
 // SyncPolicy controls when appended records are forced to stable storage.
 type SyncPolicy int
 
@@ -67,8 +72,9 @@ type Options struct {
 	// Sync selects the durability policy.
 	Sync SyncPolicy
 	// Registry, when non-nil, receives the log's telemetry: the counters
-	// "wal.appends", "wal.bytes" and "wal.syncs" plus the "put.wal_append"
-	// stage histogram. A nil registry costs one pointer test per append.
+	// "wal.appends", "wal.bytes", "wal.syncs", "wal.group_commit_syncs" and
+	// "wal.group_commit_shared" plus the "put.wal_append" stage histogram. A
+	// nil registry costs one pointer test per append.
 	Registry *telemetry.Registry
 	// Logger, when non-nil, receives structured events from rare paths
 	// (recovery warnings). The hot append path never logs.
@@ -122,10 +128,12 @@ type Log struct {
 	groupShared int64 // appends whose sync was covered by another writer
 
 	// Registry-backed instruments, resolved once at Open; all nil-safe.
-	appendsC   *telemetry.Counter
-	bytesC     *telemetry.Counter
-	syncsC     *telemetry.Counter
-	appendSpan *telemetry.Timer
+	appendsC     *telemetry.Counter
+	bytesC       *telemetry.Counter
+	syncsC       *telemetry.Counter
+	groupSyncsC  *telemetry.Counter // wal.group_commit_syncs: leader fsyncs
+	groupSharedC *telemetry.Counter // wal.group_commit_shared: fsyncs saved
+	appendSpan   *telemetry.Timer
 }
 
 const (
@@ -165,12 +173,14 @@ func Open(opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{
-		opts:       o,
-		segments:   segs,
-		appendsC:   o.Registry.Counter("wal.appends"),
-		bytesC:     o.Registry.Counter("wal.bytes"),
-		syncsC:     o.Registry.Counter("wal.syncs"),
-		appendSpan: o.Registry.Timer("put.wal_append"),
+		opts:         o,
+		segments:     segs,
+		appendsC:     o.Registry.Counter("wal.appends"),
+		bytesC:       o.Registry.Counter("wal.bytes"),
+		syncsC:       o.Registry.Counter("wal.syncs"),
+		groupSyncsC:  o.Registry.Counter("wal.group_commit_syncs"),
+		groupSharedC: o.Registry.Counter("wal.group_commit_shared"),
+		appendSpan:   o.Registry.Timer("put.wal_append"),
 	}
 	next := uint64(1)
 	if n := len(segs); n > 0 {
@@ -297,6 +307,7 @@ func (l *Log) groupSync(myOffset int64, trace telemetry.TSpan) error {
 	defer l.syncMu.Unlock()
 	if l.synced.Load() >= myOffset {
 		l.groupShared++
+		l.groupSharedC.Inc()
 		return nil // a leader's fsync already covered these records
 	}
 	l.mu.Lock()
@@ -322,6 +333,7 @@ func (l *Log) groupSync(myOffset int64, trace telemetry.TSpan) error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.groupSyncs++
+	l.groupSyncsC.Inc()
 	l.syncsC.Inc()
 	if target > l.synced.Load() {
 		l.synced.Store(target)
