@@ -26,6 +26,7 @@ import (
 	"tpcxiot/internal/driver"
 	"tpcxiot/internal/hbase"
 	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/sstable"
 	"tpcxiot/internal/telemetry"
 	"tpcxiot/internal/wal"
 )
@@ -43,6 +44,8 @@ func main() {
 		dataDir     = flag.String("datadir", "", "data directory (default: temporary)")
 		seed        = flag.Uint64("seed", 1, "workload generation seed")
 		durable     = flag.Bool("durable", false, "fsync the WAL on every append (slow, crash-safe)")
+		compactWin  = flag.Duration("compact-window", 5*time.Minute, "time-window width for tiered compaction; only the window holding the newest data is rewritten repeatedly (default ~300 readings/sensor at the 1 Hz benchmark cadence)")
+		compression = flag.String("compression", "none", "SSTable data-block compression: none or flate")
 		useTCP      = flag.Bool("tcp", false, "drive the cluster over its loopback TCP wire protocol")
 		status      = flag.Duration("status", 0, "log a status line for driver 0 on this interval (e.g. 2s)")
 
@@ -109,11 +112,19 @@ func main() {
 	if *durable {
 		walSync = wal.SyncOnAppend
 	}
+	compr, err := sstable.ParseCompression(*compression)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster, err := hbase.NewCluster(hbase.Config{
 		Nodes:        *nodes,
 		HandlerCount: *handlers,
 		DataDir:      dir,
-		Store:        lsm.Options{WALSync: walSync},
+		Store: lsm.Options{
+			WALSync:        walSync,
+			WindowDuration: *compactWin,
+			Compression:    compr,
+		},
 		Registry:     reg,
 		Tracer:       tracer,
 		Logger:       elog,

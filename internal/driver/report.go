@@ -223,6 +223,15 @@ func writeStorage(b *strings.Builder, t *telemetry.Summary) {
 	fmt.Fprintf(b, "  compaction debt:         %s  (tables: %d, %s on disk)\n",
 		mib(gaugeValue(t, "lsm.compaction_debt_bytes")),
 		gaugeValue(t, "lsm.tables"), mib(gaugeValue(t, "lsm.table_bytes")))
+	if windows := gaugeValue(t, "lsm.windows"); windows > 0 {
+		fmt.Fprintf(b, "  compaction windows:      %d  (%d tables in the hot window)\n",
+			windows, gaugeValue(t, "lsm.hot_window_tables"))
+	}
+	if raw := counterValue(t, "lsm.compress_raw_bytes"); raw > 0 {
+		stored := counterValue(t, "lsm.compress_stored_bytes")
+		fmt.Fprintf(b, "  block compression:       %s raw -> %s stored (%.1f%%)\n",
+			mib(raw), mib(stored), 100*float64(stored)/float64(raw))
+	}
 
 	if logicalRead := counterValue(t, "lsm.logical_read_bytes"); logicalRead > 0 {
 		diskRead := gaugeValue(t, "lsm.disk_read_bytes")
@@ -240,6 +249,12 @@ func writeStorage(b *strings.Builder, t *telemetry.Summary) {
 	if probes := bHits + bSkips + bFP; probes > 0 {
 		fmt.Fprintf(b, "  bloom filters:           %d tables skipped, %.2f%% false positives (%d/%d probes)\n",
 			bSkips, 100*float64(bFP)/float64(probes), bFP, probes)
+	}
+	keyPrunes := counterValue(t, "lsm.prune_key_skips")
+	timePrunes := counterValue(t, "lsm.prune_time_skips")
+	if keyPrunes+timePrunes > 0 {
+		fmt.Fprintf(b, "  file pruning:            %d tables skipped by key range, %d by time range\n",
+			keyPrunes, timePrunes)
 	}
 	if saved := counterValue(t, "wal.group_commit_shared"); saved > 0 {
 		fmt.Fprintf(b, "  fsyncs saved by group commit: %d (%d leader syncs)\n",

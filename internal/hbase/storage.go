@@ -14,6 +14,10 @@ type RegionStorage struct {
 	Server int             `json:"server"`
 	Stats  lsm.Stats       `json:"stats"`
 	Tables []lsm.TableStat `json:"tables"`
+	// Tiers groups the same tables by compaction time window (newest
+	// first): the hot window still absorbing flushes, and cold windows
+	// settled to (or converging on) one table each.
+	Tiers []lsm.TierStat `json:"tiers,omitempty"`
 }
 
 // StorageReport is the /storage document: the cluster-wide amplification
@@ -62,6 +66,10 @@ func addStats(a *lsm.Stats, b lsm.Stats) {
 	a.CacheMisses += b.CacheMisses
 	a.CacheEvictions += b.CacheEvictions
 	a.CacheUsedBytes += b.CacheUsedBytes
+	a.CompressRawBytes += b.CompressRawBytes
+	a.CompressStoredBytes += b.CompressStoredBytes
+	a.PruneKeySkips += b.PruneKeySkips
+	a.PruneTimeSkips += b.PruneTimeSkips
 	a.Tables += b.Tables
 	a.TableBytes += b.TableBytes
 	a.MemtableBytes += b.MemtableBytes
@@ -81,6 +89,7 @@ func (cl *Cluster) Storage() StorageReport {
 				Server: srv.ID(),
 				Stats:  r.Stats(),
 				Tables: r.TableStats(),
+				Tiers:  r.TierStats(),
 			})
 		}
 	}

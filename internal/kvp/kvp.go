@@ -130,6 +130,24 @@ func DecodeKey(b []byte) (Key, error) {
 	}, nil
 }
 
+// TimestampOf extracts the timestamp from an encoded key without decoding
+// the string fields, so storage layers can derive per-file time bounds on
+// the flush and compaction hot paths allocation-free. The second return is
+// false when b does not have the kvp key shape (two separator bytes followed
+// by an 8-byte timestamp).
+func TimestampOf(b []byte) (int64, bool) {
+	i := bytes.IndexByte(b, sep)
+	if i < 0 {
+		return 0, false
+	}
+	rest := b[i+1:]
+	j := bytes.IndexByte(rest, sep)
+	if j < 0 || len(rest[j+1:]) != 8 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64(rest[j+1:]) ^ (1 << 63)), true
+}
+
 // SensorPrefix returns the encoded prefix shared by all readings of one
 // sensor. Appending an encoded timestamp to it yields a full key; it is the
 // lower bound of a time-range scan starting at timestamp 0.

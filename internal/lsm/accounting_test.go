@@ -94,9 +94,20 @@ func TestReadLedgerAndBloom(t *testing.T) {
 			t.Fatalf("get k%04d: ok=%v err=%v", i, ok, err)
 		}
 	}
+	// Absent keys sorting below the table's key range never reach the
+	// filter: the footer bounds prune the table with zero I/O.
 	for i := 0; i < rows; i++ {
 		if _, ok, err := s.Get([]byte(fmt.Sprintf("absent%04d", i))); err != nil || ok {
 			t.Fatalf("absent get: ok=%v err=%v", ok, err)
+		}
+	}
+	// Absent keys inside the key range do consult the filter. "_" sorts
+	// after the digits, so k0000_ .. k0030_ all fall strictly between the
+	// table's first and last keys.
+	const inRange = rows - 1
+	for i := 0; i < inRange; i++ {
+		if _, ok, err := s.Get([]byte(fmt.Sprintf("k%04d_", i))); err != nil || ok {
+			t.Fatalf("in-range absent get: ok=%v err=%v", ok, err)
 		}
 	}
 
@@ -108,10 +119,14 @@ func TestReadLedgerAndBloom(t *testing.T) {
 	if st.BloomHits != rows {
 		t.Errorf("bloom hits = %d, want %d", st.BloomHits, rows)
 	}
-	// The filter may false-positive occasionally, but most absent probes
-	// must be skipped without a table read.
-	if st.BloomSkips+st.BloomFalsePositives != rows {
-		t.Errorf("bloom skips+fp = %d, want %d", st.BloomSkips+st.BloomFalsePositives, rows)
+	// Every out-of-range probe was answered by key-range pruning alone.
+	if st.PruneKeySkips != rows {
+		t.Errorf("prune key skips = %d, want %d", st.PruneKeySkips, rows)
+	}
+	// The filter may false-positive occasionally, but most in-range absent
+	// probes must be skipped without a table read.
+	if st.BloomSkips+st.BloomFalsePositives != inRange {
+		t.Errorf("bloom skips+fp = %d, want %d", st.BloomSkips+st.BloomFalsePositives, inRange)
 	}
 	if st.BloomSkips == 0 {
 		t.Error("no bloom skips: absent keys should miss the filter")

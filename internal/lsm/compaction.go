@@ -1,0 +1,311 @@
+// Time-windowed tiered compaction.
+//
+// The full-rewrite strategy this replaces merged every table into one file,
+// so each compaction re-read and re-wrote the whole store: write
+// amplification grew with total data volume and a sustained ingest run
+// eventually stalled behind an O(total-data) rewrite. IoT keys carry
+// timestamps, and the workload appends in rough time order, so the table
+// set is partitioned into fixed-duration time windows (Options.
+// WindowDuration): a table belongs to the window of its newest data
+// timestamp (falling back to its creation wall-clock time when keys carry
+// no timestamps — both are unix milliseconds, so the axis is shared).
+//
+// Only the hot window — the one holding the newest table — churns. Inside
+// it, flushed tables are folded size-tiered: a contiguous group of at least
+// CompactTrigger similar-sized tables (within tierSizeRatio of each other)
+// merges into one, so amplification per byte is logarithmic in window
+// volume rather than linear in store volume. Once ingest moves on and a
+// window goes cold, its remaining tables are merged once into a single
+// maximally-compacted file that is never rewritten again.
+//
+// Correctness invariant: a pick is always a contiguous span of the
+// newest-first table list, and its output is installed at the span's
+// position. Shadowing order is therefore preserved no matter which span is
+// chosen. Tombstones may be dropped only when the span reaches the oldest
+// table (nothing older remains to resurrect).
+package lsm
+
+import (
+	"tpcxiot/internal/telemetry"
+)
+
+// Compaction picker tuning. The trigger (how many similar-sized tables make
+// a tier worth merging) is Options.CompactTrigger; these bound the shape of
+// one merge.
+const (
+	// tierSizeRatio is the max size spread within one tier: a contiguous
+	// group counts as a tier only while its largest table is at most this
+	// many times its smallest. Keeps a fresh flush from being merged into a
+	// settled output thousands of times its size.
+	tierSizeRatio = 4
+	// maxCompactWidth caps the tables merged in one pass, bounding merge
+	// memory and the latency of a single compaction.
+	maxCompactWidth = 10
+)
+
+// window returns the table's time-window index on the shared unix-ms axis.
+func (t *tableHandle) window(windowMS int64) int64 {
+	if t.hasTS {
+		return t.maxTS / windowMS
+	}
+	return t.created.UnixMilli() / windowMS
+}
+
+// compactionPick is one unit of compaction work: a contiguous span of the
+// newest-first table list.
+type compactionPick struct {
+	start, n       int // span within s.tables at pick time
+	inputs         []*tableHandle
+	dropTombstones bool
+	reason         string // "hot-tier", "cold-window" or "backpressure"
+}
+
+// tableRun is a maximal contiguous span of tables sharing a window.
+type tableRun struct {
+	window   int64
+	start, n int
+	bytes    int64
+}
+
+// runsLocked partitions s.tables (newest first) into window runs. Caller
+// holds mu.
+func (s *Store) runsLocked() []tableRun {
+	windowMS := s.opts.WindowDuration.Milliseconds()
+	var runs []tableRun
+	for i, t := range s.tables {
+		w := t.window(windowMS)
+		if len(runs) == 0 || runs[len(runs)-1].window != w {
+			runs = append(runs, tableRun{window: w, start: i})
+		}
+		r := &runs[len(runs)-1]
+		r.n++
+		r.bytes += t.size
+	}
+	return runs
+}
+
+// pickCompactionLocked chooses the next compaction, or nil when the store
+// is settled. Caller holds mu (read suffices; the pick is validated against
+// live handles at install time by pointer identity).
+//
+// Priority: (1) the oldest cold window still holding several tables — one
+// merge retires it forever; (2) a size tier inside the hot window;
+// (3) under write backpressure only, a full merge as the escape hatch that
+// guarantees the file count collapses.
+func (s *Store) pickCompactionLocked() *compactionPick {
+	if len(s.tables) < 2 {
+		return nil
+	}
+	runs := s.runsLocked()
+	hot := s.tables[0].window(s.opts.WindowDuration.Milliseconds())
+
+	// Oldest cold window with more than one table.
+	for i := len(runs) - 1; i >= 0; i-- {
+		r := runs[i]
+		if r.window == hot || r.n < 2 {
+			continue
+		}
+		start, n := r.start, r.n
+		if n > maxCompactWidth {
+			// Merge the oldest part first; later passes finish the window.
+			start, n = r.start+r.n-maxCompactWidth, maxCompactWidth
+		}
+		return s.pickSpanLocked(start, n, "cold-window")
+	}
+
+	// Size tier inside the hot window's run (which, holding the newest
+	// table, is always runs[0] when its window is hot).
+	if runs[0].window == hot {
+		if p := s.pickTierLocked(runs[0]); p != nil {
+			return p
+		}
+	}
+
+	// Escape hatch: writers are stalled on MaxStoreFiles but no tier or
+	// cold window qualifies (e.g. a pathological size staircase). A full
+	// merge restores the old strategy's guarantee that backpressure always
+	// resolves.
+	if s.stallWaiters.Load() > 0 {
+		return s.pickSpanLocked(0, len(s.tables), "backpressure")
+	}
+	return nil
+}
+
+// pickTierLocked finds the newest contiguous group of at least
+// CompactTrigger tables within run whose sizes stay within tierSizeRatio.
+func (s *Store) pickTierLocked(run tableRun) *compactionPick {
+	end := run.start + run.n
+	for i := run.start; i < end; {
+		minSz := s.tables[i].size
+		maxSz := minSz
+		j := i + 1
+		for j < end && j-i < maxCompactWidth {
+			sz := s.tables[j].size
+			nmin, nmax := minSz, maxSz
+			if sz < nmin {
+				nmin = sz
+			}
+			if sz > nmax {
+				nmax = sz
+			}
+			if nmax > nmin*tierSizeRatio {
+				break
+			}
+			minSz, maxSz = nmin, nmax
+			j++
+		}
+		if j-i >= s.opts.CompactTrigger {
+			return s.pickSpanLocked(i, j-i, "hot-tier")
+		}
+		i = j
+	}
+	return nil
+}
+
+// pickSpanLocked materialises a span into a pick, acquiring nothing yet.
+func (s *Store) pickSpanLocked(start, n int, reason string) *compactionPick {
+	return &compactionPick{
+		start:  start,
+		n:      n,
+		inputs: append([]*tableHandle(nil), s.tables[start:start+n]...),
+		// Nothing older than the span means no shadowed version a dropped
+		// tombstone could resurrect.
+		dropTombstones: start+n == len(s.tables),
+		reason:         reason,
+	}
+}
+
+// compactionDebtLocked is the bytes pending compaction would rewrite right
+// now: cold windows not yet merged to one table, plus the hot window once
+// it holds a mergeable tier. A settled store — every cold window one table,
+// hot window below trigger — owes nothing, so the gauge no longer scales
+// with total data volume. Caller holds mu.
+func (s *Store) compactionDebtLocked() int64 {
+	if len(s.tables) < 2 {
+		return 0
+	}
+	runs := s.runsLocked()
+	hot := s.tables[0].window(s.opts.WindowDuration.Milliseconds())
+	var debt int64
+	for _, r := range runs {
+		switch {
+		case r.window != hot:
+			if r.n >= 2 {
+				debt += r.bytes
+			}
+		case r.n >= s.opts.CompactTrigger:
+			debt += r.bytes
+		}
+	}
+	return debt
+}
+
+// TierStat summarises one time window of the table set for introspection:
+// the /storage document and the driver report's Storage section.
+type TierStat struct {
+	// Window is the window index; WindowStartMS is its inclusive start on
+	// the unix-ms axis (WindowStartMS + window duration is the exclusive
+	// end).
+	Window        int64 `json:"window"`
+	WindowStartMS int64 `json:"window_start_ms"`
+	Tables        int   `json:"tables"`
+	Bytes         int64 `json:"bytes"`
+	// Hot marks the window still accepting the newest data; cold windows
+	// converge to a single table and are never rewritten again.
+	Hot bool `json:"hot"`
+	// WallClock marks a window derived from file creation time because the
+	// keys carried no timestamps.
+	WallClock bool `json:"wall_clock"`
+}
+
+// TierStats reports the table set grouped by time window, newest first.
+func (s *Store) TierStats() []TierStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.tables) == 0 {
+		return nil
+	}
+	windowMS := s.opts.WindowDuration.Milliseconds()
+	hot := s.tables[0].window(windowMS)
+	var out []TierStat
+	for _, r := range s.runsLocked() {
+		// Merge runs of the same window (out-of-order flushes can split a
+		// window across non-adjacent runs; report them as one tier).
+		merged := false
+		for i := range out {
+			if out[i].Window == r.window {
+				out[i].Tables += r.n
+				out[i].Bytes += r.bytes
+				merged = true
+				break
+			}
+		}
+		if merged {
+			continue
+		}
+		out = append(out, TierStat{
+			Window:        r.window,
+			WindowStartMS: r.window * windowMS,
+			Tables:        r.n,
+			Bytes:         r.bytes,
+			Hot:           r.window == hot,
+			WallClock:     !s.tables[r.start].hasTS,
+		})
+	}
+	return out
+}
+
+// kickCompactor nudges the background compaction goroutine; a kick is
+// merged into one already pending.
+func (s *Store) kickCompactor() {
+	select {
+	case s.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop is the dedicated background compaction goroutine, decoupled
+// from flush: flushes (and stalls) kick it, and each kick drains the picker
+// until the store owes no compaction work. Budgeting is the debt gauge
+// itself — the loop runs exactly while lsm.compaction_debt_bytes is
+// nonzero.
+func (s *Store) compactLoop() {
+	defer s.bg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.compactKick:
+		}
+		for {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			did, err := s.compactOnce()
+			if err != nil {
+				s.elog.Error("background compaction failed",
+					telemetry.F("error", err))
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// CompactPending runs compactions in the calling goroutine until the picker
+// is satisfied — cold windows merged to one table each, hot window below
+// its tier trigger. Unlike Compact it never rewrites settled cold windows,
+// so calling it on a settled store is free. It is the synchronous "settle"
+// used by benchmarks and tests.
+func (s *Store) CompactPending() error {
+	for {
+		did, err := s.compactOnce()
+		if err != nil || !did {
+			return err
+		}
+	}
+}

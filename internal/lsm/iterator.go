@@ -27,6 +27,12 @@ type Iter struct {
 	hi     []byte // exclusive upper bound; nil = end of keyspace
 	closed bool
 
+	// Time filter, set by NewIteratorTime: only entries whose key timestamp
+	// falls in [tsLo, tsHi) are yielded (entries without an extractable
+	// timestamp never match a time-range query).
+	tsLo, tsHi int64
+	tsFilter   bool
+
 	// bytesRead accumulates the user bytes this iterator yielded, counted
 	// locally and flushed to the store's read ledger once at Close so long
 	// scans cost no per-row atomics.
@@ -38,7 +44,26 @@ type Iter struct {
 // keyspace. The returned iterator is positioned at the first entry (check
 // Valid); it observes a snapshot pinned at this call and MUST be closed to
 // release the pinned table files.
+//
+// Tables whose footer key bounds cannot intersect [lo, hi) are pruned from
+// the snapshot — never pinned, never read.
 func (s *Store) NewIterator(lo, hi []byte) (*Iter, error) {
+	return s.newIter(lo, hi, 0, 0, false)
+}
+
+// NewIteratorTime is NewIterator restricted to entries whose key timestamp
+// (per Options.KeyTimestamp) satisfies minTS <= ts < maxTS, both unix ms.
+// Entries without an extractable timestamp are outside every time range.
+// Beyond the per-entry filter, whole table files are pruned when their
+// footer time bounds cannot intersect the range, so scans over cold windows
+// skip the bulk of the store without any I/O; tables without time bounds
+// (legacy format, or no timestamped keys) are conservatively read and
+// filtered entry by entry.
+func (s *Store) NewIteratorTime(lo, hi []byte, minTS, maxTS int64) (*Iter, error) {
+	return s.newIter(lo, hi, minTS, maxTS, true)
+}
+
+func (s *Store) newIter(lo, hi []byte, tsLo, tsHi int64, tsFilter bool) (*Iter, error) {
 	if hi != nil && bytes.Compare(lo, hi) > 0 {
 		return nil, ErrBadRange
 	}
@@ -56,17 +81,44 @@ func (s *Store) NewIterator(lo, hi []byte) (*Iter, error) {
 		iit.Seek(lo)
 		sources = append(sources, memIter{iit})
 	}
-	held := append([]*tableHandle(nil), s.tables...)
-	for _, t := range held {
+	held := make([]*tableHandle, 0, len(s.tables))
+	var keyPruned, timePruned int64
+	for _, t := range s.tables {
+		// Key-range pruning against the footer bounds. lo > last rules the
+		// table out below the range; first >= hi rules it out above.
+		if bytes.Compare(t.lastKey, lo) < 0 ||
+			(hi != nil && bytes.Compare(t.firstKey, hi) >= 0) {
+			keyPruned++
+			continue
+		}
+		// Time-range pruning: sound only when the table has bounds (they
+		// then cover every timestamped key, and untimestamped keys match no
+		// time range anyway).
+		if tsFilter && t.hasTS && (t.maxTS < tsLo || t.minTS >= tsHi) {
+			timePruned++
+			continue
+		}
 		t.acquire()
+		held = append(held, t)
 		it := t.reader.NewIterator()
 		it.Seek(lo)
 		sources = append(sources, it)
 	}
 	s.mu.RUnlock()
 	s.scans.Add(1)
+	if keyPruned > 0 {
+		s.pruneKey.Add(keyPruned)
+		s.met.pruneKeyC.Add(keyPruned)
+	}
+	if timePruned > 0 {
+		s.pruneTime.Add(timePruned)
+		s.met.pruneTimeC.Add(timePruned)
+	}
 
-	it := &Iter{store: s, held: held, merged: newMergeIterator(sources), hi: hi}
+	it := &Iter{
+		store: s, held: held, merged: newMergeIterator(sources), hi: hi,
+		tsLo: tsLo, tsHi: tsHi, tsFilter: tsFilter,
+	}
 	it.skipDead()
 	it.account()
 	return it, nil
@@ -81,8 +133,9 @@ func (it *Iter) account() {
 	}
 }
 
-// skipDead advances the merge past tombstones and clamps at the upper
-// bound, so the iterator rests on a live in-range entry or exhausts.
+// skipDead advances the merge past tombstones, entries outside the time
+// filter, and clamps at the upper bound, so the iterator rests on a live
+// in-range entry or exhausts.
 func (it *Iter) skipDead() {
 	for it.merged.Valid() {
 		if it.hi != nil && bytes.Compare(it.merged.Key(), it.hi) >= 0 {
@@ -90,7 +143,13 @@ func (it *Iter) skipDead() {
 			return
 		}
 		if v := it.merged.Value(); len(v) > 0 && v[0] == tagValue {
-			return
+			if !it.tsFilter {
+				return
+			}
+			ts, ok := it.store.opts.KeyTimestamp(it.merged.Key())
+			if ok && ts >= it.tsLo && ts < it.tsHi {
+				return
+			}
 		}
 		it.merged.Next()
 	}

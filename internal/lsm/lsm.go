@@ -17,6 +17,7 @@
 package lsm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpcxiot/internal/kvp"
 	"tpcxiot/internal/memtable"
 	"tpcxiot/internal/sstable"
 	"tpcxiot/internal/telemetry"
@@ -52,9 +54,26 @@ type Options struct {
 	// MaxStoreFiles blocks writes when this many table files accumulate
 	// (hbase.hstore.blockingStoreFiles). Defaults to 28, the paper's tuning.
 	MaxStoreFiles int
-	// CompactTrigger starts a full compaction when the file count reaches
-	// this value. Defaults to 6.
+	// CompactTrigger is how many similar-sized tables inside the hot time
+	// window make a tier worth merging (and, for stores recovered from older
+	// versions, the legacy full-compaction trigger). Defaults to 6.
 	CompactTrigger int
+	// WindowDuration is the width of the time windows the compaction picker
+	// partitions the table set into. Tables are windowed by their newest key
+	// timestamp (file creation time when keys carry none); only the hot
+	// window churns, and cold windows are merged once and never rewritten.
+	// Defaults to 5 minutes — at the benchmark cadence of one reading per
+	// sensor per second, that is a few memtable flushes per window.
+	WindowDuration time.Duration
+	// Compression selects the SSTable data-block encoding for tables written
+	// by flushes and compactions (existing tables are readable either way).
+	// Defaults to no compression.
+	Compression sstable.Compression
+	// KeyTimestamp extracts the event timestamp (unix ms) from a key, used
+	// to window tables for compaction, record per-table time bounds, and
+	// prune files from time-range scans. Keys for which it reports false are
+	// unwindowed. Defaults to kvp.TimestampOf, the benchmark key layout.
+	KeyTimestamp func(key []byte) (int64, bool)
 	// BlockSize is the SSTable data-block size. Defaults to 4 KiB.
 	BlockSize int
 	// BloomBitsPerKey sizes table Bloom filters. 0 selects the default.
@@ -110,6 +129,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.CompactTrigger > o.MaxStoreFiles {
 		o.CompactTrigger = o.MaxStoreFiles
 	}
+	if o.WindowDuration <= 0 {
+		o.WindowDuration = 5 * time.Minute
+	}
+	if o.KeyTimestamp == nil {
+		o.KeyTimestamp = kvp.TimestampOf
+	}
 	return o, nil
 }
 
@@ -140,8 +165,23 @@ type Store struct {
 	flushCond *sync.Cond          // signalled when a flush or compaction completes
 	cache     *sstable.BlockCache // shared across all table files
 
-	maintMu   sync.Mutex // serialises flush/compaction work
+	maintMu   sync.Mutex // serialises flushes
+	compactMu sync.Mutex // serialises compactions, independently of flushes
 	seedCount uint64
+
+	// manifest is the versioned table-set log; manMu serialises manifest
+	// commits with the in-memory installs they authorise, so a rotation
+	// snapshot can never miss a committed-but-uninstalled table. Lock order:
+	// manMu before mu.
+	manifest *manifest
+	manMu    sync.Mutex
+
+	// Background compaction goroutine plumbing: flushes and stalls kick,
+	// Close closes quit and waits.
+	compactKick chan struct{}
+	quit        chan struct{}
+	bg          sync.WaitGroup
+	stopOnce    sync.Once
 
 	encPool sync.Pool // *encodeBuf; scratch space for batch record encoding
 
@@ -172,6 +212,16 @@ type Store struct {
 	// backpressure; nonzero means the store is stalled right now.
 	stallWaiters atomic.Int64
 
+	// Block-compression ledger: raw data-block bytes offered to the
+	// compressor versus bytes actually stored, summed over every table
+	// written. Zero when Options.Compression is off.
+	compressRaw, compressStored atomic.Int64
+
+	// File-pruning ledger: table files skipped without any I/O because the
+	// requested key range (pruneKey) or time range (pruneTime) cannot
+	// intersect the table's footer bounds.
+	pruneKey, pruneTime atomic.Int64
+
 	met  storeMetrics
 	elog *telemetry.Logger // structured event log; nil-safe
 }
@@ -189,14 +239,18 @@ type storeMetrics struct {
 	flushSpan    *telemetry.Timer // put.region_flush: memtable to table file
 
 	// Byte-accounting and Bloom counters (see the atomics on Store).
-	logicalBytesC *telemetry.Counter
-	logicalReadC  *telemetry.Counter
-	flushBytesC   *telemetry.Counter
-	compactReadC  *telemetry.Counter
-	compactWriteC *telemetry.Counter
-	bloomHitsC    *telemetry.Counter
-	bloomSkipsC   *telemetry.Counter
-	bloomFPC      *telemetry.Counter
+	logicalBytesC   *telemetry.Counter
+	logicalReadC    *telemetry.Counter
+	flushBytesC     *telemetry.Counter
+	compactReadC    *telemetry.Counter
+	compactWriteC   *telemetry.Counter
+	bloomHitsC      *telemetry.Counter
+	bloomSkipsC     *telemetry.Counter
+	bloomFPC        *telemetry.Counter
+	compressRawC    *telemetry.Counter
+	compressStoredC *telemetry.Counter
+	pruneKeyC       *telemetry.Counter
+	pruneTimeC      *telemetry.Counter
 
 	// Per-region tagged variants, resolved only when Options.Tags is set
 	// (nil — and thus free — otherwise). The untagged instruments above are
@@ -223,11 +277,21 @@ type tableHandle struct {
 
 	// Introspection metadata, immutable after construction. size mirrors
 	// reader.Size so stats never touch a possibly-closed reader; tombstones
-	// is counted at write time (flush knows, compaction output has none) and
-	// is -1 for tables recovered at open, where counting would mean a scan.
+	// is counted at write time (flush knows, full-compaction output has
+	// none) and is -1 for tables recovered from a legacy directory, where
+	// counting would mean a scan.
 	size       int64
 	tombstones int64
 	created    time.Time
+
+	// Pruning metadata mirrored from the reader's footer so Get and
+	// iterator open never touch the reader for tables they will skip.
+	// firstKey/lastKey are the inclusive key bounds; minTS/maxTS the key
+	// timestamp bounds, meaningless when hasTS is false (legacy tables or
+	// keys without timestamps — such tables are never pruned by time).
+	firstKey, lastKey []byte
+	minTS, maxTS      int64
+	hasTS             bool
 }
 
 func newTableHandle(id uint64, path string, reader *sstable.Reader) *tableHandle {
@@ -235,6 +299,8 @@ func newTableHandle(id uint64, path string, reader *sstable.Reader) *tableHandle
 		id: id, path: path, reader: reader,
 		size: reader.Size(), tombstones: -1, created: time.Now(),
 	}
+	t.firstKey, t.lastKey = reader.Bounds()
+	t.minTS, t.maxTS, t.hasTS = reader.TimeBounds()
 	t.refs.Store(1) // the table set's reference
 	return t
 }
@@ -291,6 +357,18 @@ type Stats struct {
 	BloomSkips          int64 `json:"bloom_skips"`
 	BloomFalsePositives int64 `json:"bloom_false_positives"`
 
+	// Block-compression ledger: raw data-block bytes offered to the
+	// compressor versus bytes actually stored. Zero with compression off;
+	// their ratio is the achieved compression ratio.
+	CompressRawBytes    int64 `json:"compress_raw_bytes"`
+	CompressStoredBytes int64 `json:"compress_stored_bytes"`
+
+	// File-pruning effectiveness: table files skipped with zero I/O because
+	// the lookup's key (PruneKeySkips) or a time-range scan's bounds
+	// (PruneTimeSkips) cannot intersect the table's footer bounds.
+	PruneKeySkips  int64 `json:"prune_key_skips"`
+	PruneTimeSkips int64 `json:"prune_time_skips"`
+
 	// Block-cache effectiveness (shared across the store's tables).
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
@@ -298,12 +376,23 @@ type Stats struct {
 	CacheUsedBytes int64 `json:"cache_used_bytes"`
 
 	// Current shape: live table files, their total size, the active
-	// memtable's occupancy, and the compaction debt — bytes a full compaction
-	// would have to rewrite right now (0 when the store is fully compacted).
+	// memtable's occupancy, and the compaction debt — bytes the windowed
+	// picker would rewrite right now: cold windows not yet merged to one
+	// table plus a hot window holding a mergeable tier. 0 when settled,
+	// and no longer proportional to total data volume.
 	Tables              int   `json:"tables"`
 	TableBytes          int64 `json:"table_bytes"`
 	MemtableBytes       int64 `json:"memtable_bytes"`
 	CompactionDebtBytes int64 `json:"compaction_debt_bytes"`
+}
+
+// CompressionRatio is stored over raw data-block bytes (e.g. 0.4 means
+// blocks shrank to 40%); 0 before any compressed write.
+func (st Stats) CompressionRatio() float64 {
+	if st.CompressRawBytes == 0 {
+		return 0
+	}
+	return float64(st.CompressStoredBytes) / float64(st.CompressRawBytes)
 }
 
 // WriteAmplification is physical write bytes (WAL + flush + compaction
@@ -372,14 +461,20 @@ func Open(opts Options) (*Store, error) {
 		flushBytesC:   o.Registry.Counter("lsm.flush_bytes"),
 		compactReadC:  o.Registry.Counter("lsm.compact_read_bytes"),
 		compactWriteC: o.Registry.Counter("lsm.compact_write_bytes"),
-		bloomHitsC:    o.Registry.Counter("lsm.bloom_hits"),
-		bloomSkipsC:   o.Registry.Counter("lsm.bloom_skips"),
-		bloomFPC:      o.Registry.Counter("lsm.bloom_false_positives"),
+		bloomHitsC:      o.Registry.Counter("lsm.bloom_hits"),
+		bloomSkipsC:     o.Registry.Counter("lsm.bloom_skips"),
+		bloomFPC:        o.Registry.Counter("lsm.bloom_false_positives"),
+		compressRawC:    o.Registry.Counter("lsm.compress_raw_bytes"),
+		compressStoredC: o.Registry.Counter("lsm.compress_stored_bytes"),
+		pruneKeyC:       o.Registry.Counter("lsm.prune_key_skips"),
+		pruneTimeC:      o.Registry.Counter("lsm.prune_time_skips"),
 	}
 	o.Registry.Gauge("lsm.memtable_bytes", s.MemtableBytes)
 	o.Registry.Gauge("lsm.table_bytes", s.tableBytesGauge)
 	o.Registry.Gauge("lsm.tables", func() int64 { return int64(s.TableCount()) })
 	o.Registry.Gauge("lsm.compaction_debt_bytes", s.compactionDebtGauge)
+	o.Registry.Gauge("lsm.windows", func() int64 { return int64(len(s.TierStats())) })
+	o.Registry.Gauge("lsm.hot_window_tables", s.hotWindowTablesGauge)
 	o.Registry.Gauge("lsm.cache_hits", func() int64 { return s.cache.Stats().Hits })
 	o.Registry.Gauge("lsm.cache_misses", func() int64 { return s.cache.Stats().Misses })
 	o.Registry.Gauge("lsm.disk_read_bytes", func() int64 { return s.cache.Stats().DiskReadBytes })
@@ -404,7 +499,7 @@ func Open(opts Options) (*Store, error) {
 		s.elog = s.elog.With(fields...)
 	}
 
-	if err := s.loadTables(); err != nil {
+	if err := s.recoverTables(); err != nil {
 		return nil, err
 	}
 
@@ -424,10 +519,74 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	s.compactKick = make(chan struct{}, 1)
+	s.quit = make(chan struct{})
+	s.bg.Add(1)
+	go s.compactLoop()
+	// Recovery may have left compactable debt (e.g. a crash mid-merge).
+	s.kickCompactor()
 	return s, nil
 }
 
-func (s *Store) loadTables() error {
+// tablePath names table id's file within the store directory.
+func (s *Store) tablePath(id uint64) string {
+	return filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
+}
+
+// recoverTables rebuilds the table set at open. The manifest is
+// authoritative: when one exists, exactly the tables it lists are opened and
+// every other .sst (plus .tmp residue and superseded MANIFEST files) is an
+// orphan from an interrupted transition, removed. A directory without a
+// manifest — fresh, or written by an older version that recovered by
+// directory scan — is scanned once and a manifest bootstrapped from the
+// findings.
+func (s *Store) recoverTables() error {
+	man, live, err := openManifest(s.opts.Dir, s.elog)
+	if err != nil {
+		return err
+	}
+	s.manifest = man
+
+	if live == nil {
+		if err := s.loadLegacyTables(); err != nil {
+			return err
+		}
+		metas := make([]tableMeta, 0, len(s.tables))
+		for _, t := range s.tables {
+			metas = append(metas, t.meta())
+		}
+		if err := man.bootstrap(metas); err != nil {
+			return err
+		}
+	} else {
+		metas := make([]tableMeta, 0, len(live))
+		for _, m := range live {
+			metas = append(metas, m)
+		}
+		// Higher ids are newer; order newest first.
+		sort.Slice(metas, func(i, j int) bool { return metas[i].ID > metas[j].ID })
+		for _, m := range metas {
+			path := s.tablePath(m.ID)
+			r, err := sstable.OpenWithCache(path, s.cache)
+			if err != nil {
+				return fmt.Errorf("%w: manifest table %s: %v", ErrCorrupt, path, err)
+			}
+			h := newTableHandle(m.ID, path, r)
+			h.tombstones = m.Tombstones
+			h.created = time.UnixMilli(m.CreatedMS)
+			s.tables = append(s.tables, h)
+			if m.ID >= s.nextID {
+				s.nextID = m.ID + 1
+			}
+		}
+	}
+	return s.removeOrphans(live != nil)
+}
+
+// loadLegacyTables scans the directory for .sst files — the pre-manifest
+// recovery path, kept for migrating existing stores in place.
+func (s *Store) loadLegacyTables() error {
 	entries, err := os.ReadDir(s.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("lsm: read dir: %w", err)
@@ -439,14 +598,6 @@ func (s *Store) loadTables() error {
 	var files []idPath
 	for _, e := range entries {
 		name := e.Name()
-		if strings.HasSuffix(name, tmpSuffix) {
-			// A table that was mid-write at crash time; the WAL still holds
-			// its contents.
-			s.elog.Warn("removing orphaned temp table from interrupted flush",
-				telemetry.F("file", name))
-			os.Remove(filepath.Join(s.opts.Dir, name))
-			continue
-		}
 		if !strings.HasSuffix(name, ".sst") {
 			continue
 		}
@@ -473,6 +624,46 @@ func (s *Store) loadTables() error {
 		if f.id >= s.nextID {
 			s.nextID = f.id + 1
 		}
+	}
+	return nil
+}
+
+// removeOrphans sweeps the directory after recovery: .tmp files from
+// interrupted writes, superseded MANIFEST files, and — only when an
+// authoritative manifest was replayed — .sst files the manifest does not
+// reference (committed-but-unlinked compaction inputs, or a flush that
+// renamed its table but crashed before the manifest commit; the WAL still
+// holds the latter's contents). Any orphan id seen advances nextID so a new
+// table can never reuse a name that just held different bytes.
+func (s *Store) removeOrphans(haveManifest bool) error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("lsm: read dir: %w", err)
+	}
+	liveTables := make(map[string]bool, len(s.tables))
+	for _, t := range s.tables {
+		liveTables[filepath.Base(t.path)] = true
+	}
+	curManifest := manifestName(s.manifest.seq)
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			s.elog.Warn("removing orphaned temp file from interrupted write",
+				telemetry.F("file", name))
+		case strings.HasPrefix(name, manifestPrefix) && name != curManifest:
+			s.elog.Warn("removing superseded manifest",
+				telemetry.F("file", name))
+		case strings.HasSuffix(name, ".sst") && haveManifest && !liveTables[name]:
+			s.elog.Warn("removing orphaned table not referenced by manifest",
+				telemetry.F("file", name))
+			if id, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64); err == nil && id >= s.nextID {
+				s.nextID = id + 1
+			}
+		default:
+			continue
+		}
+		os.Remove(filepath.Join(s.opts.Dir, name))
 	}
 	return nil
 }
@@ -613,6 +804,9 @@ func (s *Store) ApplyBatchTraced(parent telemetry.TSpan, writes []Write) error {
 			s.met.stalls.Inc()
 			s.met.stallsTagged.Inc()
 			s.startMaintenanceLocked()
+			// With stallWaiters nonzero the picker always finds work, so a
+			// kick is guaranteed to shrink the table count.
+			s.kickCompactor()
 			s.flushCond.Wait()
 		}
 		s.stallWaiters.Add(-1)
@@ -704,13 +898,14 @@ func (s *Store) rotateMemtableLocked() {
 	s.active = memtable.New(s.seedCount)
 }
 
-// startMaintenanceLocked launches the background flush/compaction worker if
-// there is work. Caller holds mu.
+// startMaintenanceLocked launches the background flush worker if there is
+// work. Caller holds mu. Compaction is not maintenance any more — it runs on
+// its own goroutine (compactLoop), kicked by each flush install.
 func (s *Store) startMaintenanceLocked() {
 	go s.maintain()
 }
 
-// maintain performs at most one flush and one compaction pass.
+// maintain performs at most one flush pass.
 func (s *Store) maintain() {
 	s.maintMu.Lock()
 	defer s.maintMu.Unlock()
@@ -722,17 +917,6 @@ func (s *Store) maintain() {
 		if err := s.flushMemtable(imm); err != nil {
 			// Leave imm in place; a later Flush call will retry and report.
 			s.elog.Error("background memtable flush failed; will retry",
-				telemetry.F("error", err))
-			return
-		}
-	}
-
-	s.mu.Lock()
-	need := len(s.tables) >= s.opts.CompactTrigger
-	s.mu.Unlock()
-	if need {
-		if err := s.compact(); err != nil {
-			s.elog.Error("background compaction failed",
 				telemetry.F("error", err))
 		}
 	}
@@ -775,10 +959,12 @@ func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 	s.nextID++
 	s.mu.Unlock()
 
-	path := filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
+	path := s.tablePath(id)
 	w, err := sstable.NewWriter(path+tmpSuffix, sstable.WriterOptions{
 		BlockSize:       s.opts.BlockSize,
 		BloomBitsPerKey: s.opts.BloomBitsPerKey,
+		Compression:     s.opts.Compression,
+		TimestampOf:     s.opts.KeyTimestamp,
 	})
 	if err != nil {
 		return err
@@ -815,18 +1001,27 @@ func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 	}
 	h := newTableHandle(id, path, r)
 	h.tombstones = tombs
+	s.accountCompression(w)
 
-	s.mu.Lock()
-	s.tables = append([]*tableHandle{h}, s.tables...)
-	s.imm = nil
-	s.flushes.Add(1)
-	s.met.flushes.Inc()
-	s.met.flushesTagged.Inc()
-	s.flushBytes.Add(h.size)
-	s.met.flushBytesC.Add(h.size)
-	s.met.flushBytesTagged.Add(h.size)
-	s.flushCond.Broadcast()
-	s.mu.Unlock()
+	// The manifest commit is the transition: if it fails (or we crash before
+	// it) the renamed file is an unreferenced orphan, the WAL still holds the
+	// data, and a retry flushes under a fresh id.
+	err = s.commitAndInstall(manifestEdit{Added: []tableMeta{h.meta()}}, func() {
+		s.tables = append([]*tableHandle{h}, s.tables...)
+		s.imm = nil
+		s.flushes.Add(1)
+		s.met.flushes.Inc()
+		s.met.flushesTagged.Inc()
+		s.flushBytes.Add(h.size)
+		s.met.flushBytesC.Add(h.size)
+		s.met.flushBytesTagged.Add(h.size)
+		s.flushCond.Broadcast()
+	})
+	if err != nil {
+		h.release()
+		return fmt.Errorf("lsm: manifest commit after flush: %w", err)
+	}
+	s.kickCompactor()
 
 	if err := s.truncateWALIfQuiescent(); err != nil {
 		// The flush itself succeeded — the table is installed — but leaked
@@ -834,6 +1029,41 @@ func (s *Store) doFlushMemtable(imm *memtable.Memtable) error {
 		return fmt.Errorf("lsm: wal truncate after flush: %w", err)
 	}
 	return nil
+}
+
+// commitAndInstall logs one manifest edit and, only if the commit succeeds,
+// runs install (which must take s.mu itself and update s.tables to match the
+// edit). Holding manMu across both means a concurrent edit's rotation
+// snapshot always reflects every previously committed transition.
+func (s *Store) commitAndInstall(edit manifestEdit, install func()) error {
+	s.manMu.Lock()
+	defer s.manMu.Unlock()
+	s.mu.RLock()
+	live := make([]tableMeta, 0, len(s.tables))
+	for _, t := range s.tables {
+		live = append(live, t.meta())
+	}
+	s.mu.RUnlock()
+	if err := s.manifest.logEdit(edit, live); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	install()
+	s.mu.Unlock()
+	return nil
+}
+
+// accountCompression folds one finished writer's compression ledger into
+// the store's counters.
+func (s *Store) accountCompression(w *sstable.Writer) {
+	raw, stored := w.CompressionStats()
+	if raw == 0 && stored == 0 {
+		return
+	}
+	s.compressRaw.Add(raw)
+	s.compressStored.Add(stored)
+	s.met.compressRawC.Add(raw)
+	s.met.compressStoredC.Add(stored)
 }
 
 // truncateWALIfQuiescent drops all but the active WAL segment when there is
@@ -860,36 +1090,64 @@ func (s *Store) truncateWALIfQuiescent() error {
 	return nil
 }
 
-// compact merges every table file into one, dropping shadowed versions and
-// tombstones, then replaces the table set.
-func (s *Store) compact() error {
-	s.mu.Lock()
-	if s.closed || len(s.tables) < 2 {
-		s.mu.Unlock()
-		return nil
+// compactOnce asks the picker for one unit of work and runs it. It returns
+// whether a compaction happened. Serialised by compactMu; flushes proceed
+// concurrently under maintMu and are re-merged at install time.
+func (s *Store) compactOnce() (bool, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return false, nil
 	}
-	old := append([]*tableHandle(nil), s.tables...)
-	for _, t := range old {
-		t.acquire() // hold for the merge read
+	pick := s.pickCompactionLocked()
+	if pick != nil {
+		for _, t := range pick.inputs {
+			t.acquire() // hold for the merge read
+		}
 	}
-	id := s.nextID
-	s.nextID++
-	s.mu.Unlock()
+	s.mu.RUnlock()
+	if pick == nil {
+		return false, nil
+	}
+	return true, s.compactPick(pick)
+}
+
+// compactPick merges one picked span of tables into a single output and
+// swaps it into the span's position. Caller holds compactMu and has
+// acquired every input; compactPick releases them. Tombstones survive the
+// merge unless the pick says nothing older exists.
+func (s *Store) compactPick(pick *compactionPick) error {
+	old := pick.inputs
 	defer func() {
 		for _, t := range old {
 			t.release()
 		}
 	}()
 
-	path := filepath.Join(s.opts.Dir, fmt.Sprintf("%012d.sst", id))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	path := s.tablePath(id)
 	w, err := sstable.NewWriter(path+tmpSuffix, sstable.WriterOptions{
 		BlockSize:       s.opts.BlockSize,
 		BloomBitsPerKey: s.opts.BloomBitsPerKey,
+		Compression:     s.opts.Compression,
+		TimestampOf:     s.opts.KeyTimestamp,
 	})
 	if err != nil {
 		return err
 	}
 
+	// Inputs are a contiguous span of the newest-first table list, in order,
+	// so the merge's "earlier source wins" rule preserves shadowing.
 	iters := make([]iterator, len(old))
 	for i, t := range old {
 		it := t.reader.NewIterator()
@@ -898,15 +1156,19 @@ func (s *Store) compact() error {
 	}
 	merged := newMergeIterator(iters)
 	wrote := 0
+	var tombs int64
 	for merged.Valid() {
-		// Drop tombstones entirely: this is a full compaction, nothing
-		// older can resurrect the key.
-		if v := merged.Value(); len(v) > 0 && v[0] == tagValue {
+		v := merged.Value()
+		live := len(v) > 0 && v[0] == tagValue
+		if live || !pick.dropTombstones {
 			if err := w.Add(merged.Key(), v); err != nil {
 				w.Abort()
 				return err
 			}
 			wrote++
+			if !live {
+				tombs++
+			}
 		}
 		merged.Next()
 	}
@@ -924,8 +1186,12 @@ func (s *Store) compact() error {
 	s.met.compactReadC.Add(readBytes)
 	s.met.compactReadTagged.Add(readBytes)
 
-	var newTables []*tableHandle
+	var out *tableHandle
 	var writeBytes int64
+	edit := manifestEdit{Deleted: make([]uint64, 0, len(old))}
+	for _, t := range old {
+		edit.Deleted = append(edit.Deleted, t.id)
+	}
 	if wrote == 0 {
 		w.Abort()
 	} else {
@@ -939,23 +1205,31 @@ func (s *Store) compact() error {
 		if err != nil {
 			return err
 		}
-		h := newTableHandle(id, path, r)
-		h.tombstones = 0 // full compaction drops every tombstone
-		newTables = []*tableHandle{h}
-		writeBytes = h.size
+		out = newTableHandle(id, path, r)
+		out.tombstones = tombs
+		writeBytes = out.size
+		s.accountCompression(w)
+		edit.Added = []tableMeta{out.meta()}
 	}
 	s.compactWriteBytes.Add(writeBytes)
 	s.met.compactWriteC.Add(writeBytes)
 	s.met.compactWriteTagged.Add(writeBytes)
 
-	s.mu.Lock()
-	// Tables flushed while we compacted sit in front of `old`; keep them.
-	fresh := s.tables[:len(s.tables)-len(old)]
-	s.tables = append(append([]*tableHandle(nil), fresh...), newTables...)
-	s.compactions.Add(1)
-	s.met.compactions.Inc()
-	s.flushCond.Broadcast()
-	s.mu.Unlock()
+	// Manifest commit, then the in-memory swap it authorises. A crash before
+	// the commit leaves the output an orphan; after it, the inputs are the
+	// orphans — either way the next open converges.
+	err = s.commitAndInstall(edit, func() {
+		s.replaceTablesLocked(old, out)
+		s.compactions.Add(1)
+		s.met.compactions.Inc()
+		s.flushCond.Broadcast()
+	})
+	if err != nil {
+		if out != nil {
+			out.release()
+		}
+		return fmt.Errorf("lsm: manifest commit after compaction: %w", err)
+	}
 
 	// Retire the inputs: drop the table set's reference. The reader closes
 	// and the file is removed once the last concurrent scan releases it.
@@ -966,11 +1240,47 @@ func (s *Store) compact() error {
 	return nil
 }
 
-// Compact forces a full compaction.
+// replaceTablesLocked swaps the tables of a compacted span (matched by
+// identity — flushes may have prepended newer tables since the pick) for the
+// merged output, which takes the span's position. A nil out (everything
+// merged away) just removes the span. Caller holds mu.
+func (s *Store) replaceTablesLocked(old []*tableHandle, out *tableHandle) {
+	oldSet := make(map[*tableHandle]bool, len(old))
+	for _, t := range old {
+		oldSet[t] = true
+	}
+	ns := make([]*tableHandle, 0, len(s.tables))
+	inserted := false
+	for _, t := range s.tables {
+		if oldSet[t] {
+			if !inserted && out != nil {
+				ns = append(ns, out)
+			}
+			inserted = true
+			continue
+		}
+		ns = append(ns, t)
+	}
+	s.tables = ns
+}
+
+// Compact forces a full compaction: every table merges into one and every
+// tombstone is dropped. The heavy hammer — benchmarks settling to a known
+// state use CompactPending, which respects window boundaries.
 func (s *Store) Compact() error {
-	s.maintMu.Lock()
-	defer s.maintMu.Unlock()
-	return s.compact()
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.RLock()
+	if s.closed || len(s.tables) < 2 {
+		s.mu.RUnlock()
+		return nil
+	}
+	pick := s.pickSpanLocked(0, len(s.tables), "full")
+	for _, t := range pick.inputs {
+		t.acquire()
+	}
+	s.mu.RUnlock()
+	return s.compactPick(pick)
 }
 
 // Get returns the value for key, or ok=false.
@@ -1005,6 +1315,13 @@ func (s *Store) Get(key []byte) (value []byte, ok bool, err error) {
 		}
 	}
 	for _, t := range tables {
+		// Key-range pruning: the footer bounds rule the table out without
+		// touching its reader (no bloom probe, no block read).
+		if bytes.Compare(key, t.firstKey) < 0 || bytes.Compare(key, t.lastKey) > 0 {
+			s.pruneKey.Add(1)
+			s.met.pruneKeyC.Inc()
+			continue
+		}
 		r := t.reader
 		// Classify the Bloom probe ourselves (Reader.Get would consult the
 		// filter too, but cannot tell us which way it went). Only tables that
@@ -1080,6 +1397,24 @@ func (s *Store) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
 	return it.Error()
 }
 
+// ScanTime is Scan restricted to entries whose key timestamp satisfies
+// minTS <= ts < maxTS (unix ms). Table files whose footer time bounds fall
+// entirely outside the range are pruned without any I/O; see
+// NewIteratorTime for the exact semantics.
+func (s *Store) ScanTime(lo, hi []byte, minTS, maxTS int64, fn func(key, value []byte) error) error {
+	it, err := s.NewIteratorTime(lo, hi, minTS, maxTS)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for ; it.Valid(); it.Next() {
+		if err := fn(it.Key(), it.Value()); err != nil {
+			return err
+		}
+	}
+	return it.Error()
+}
+
 // Stats returns a snapshot of cumulative counters, the amplification
 // ledger, and the store's current shape.
 func (s *Store) Stats() Stats {
@@ -1103,6 +1438,11 @@ func (s *Store) Stats() Stats {
 		BloomHits:           s.bloomHits.Load(),
 		BloomSkips:          s.bloomSkips.Load(),
 		BloomFalsePositives: s.bloomFP.Load(),
+
+		CompressRawBytes:    s.compressRaw.Load(),
+		CompressStoredBytes: s.compressStored.Load(),
+		PruneKeySkips:       s.pruneKey.Load(),
+		PruneTimeSkips:      s.pruneTime.Load(),
 	}
 	cs := s.cache.Stats()
 	st.DiskReadBytes = cs.DiskReadBytes
@@ -1116,9 +1456,7 @@ func (s *Store) Stats() Stats {
 	for _, t := range s.tables {
 		st.TableBytes += t.size
 	}
-	if st.Tables >= 2 {
-		st.CompactionDebtBytes = st.TableBytes
-	}
+	st.CompactionDebtBytes = s.compactionDebtLocked()
 	st.MemtableBytes = s.active.Size()
 	s.mu.RUnlock()
 	return st
@@ -1138,6 +1476,15 @@ type TableStat struct {
 	Tombstones int64   `json:"tombstones"`
 	AgeSeconds float64 `json:"age_seconds"`
 	HasBloom   bool    `json:"has_bloom"`
+
+	// Time-window placement: the key timestamp bounds from the footer (unix
+	// ms; meaningless when HasTimeBounds is false) and the compaction window
+	// the table falls in.
+	MinTS         int64  `json:"min_ts"`
+	MaxTS         int64  `json:"max_ts"`
+	HasTimeBounds bool   `json:"has_time_bounds"`
+	Window        int64  `json:"window"`
+	Compression   string `json:"compression"`
 }
 
 // TableStats reports every live table, newest first. The table set holds a
@@ -1148,18 +1495,23 @@ func (s *Store) TableStats() []TableStat {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]TableStat, 0, len(s.tables))
+	windowMS := s.opts.WindowDuration.Milliseconds()
 	for _, t := range s.tables {
-		first, last := t.reader.Bounds()
 		out = append(out, TableStat{
-			ID:         t.id,
-			Path:       t.path,
-			FirstKey:   string(first),
-			LastKey:    string(last),
-			SizeBytes:  t.size,
-			Entries:    t.reader.EntryCount(),
-			Tombstones: t.tombstones,
-			AgeSeconds: now.Sub(t.created).Seconds(),
-			HasBloom:   t.reader.FilterPresent(),
+			ID:            t.id,
+			Path:          t.path,
+			FirstKey:      string(t.firstKey),
+			LastKey:       string(t.lastKey),
+			SizeBytes:     t.size,
+			Entries:       t.reader.EntryCount(),
+			Tombstones:    t.tombstones,
+			AgeSeconds:    now.Sub(t.created).Seconds(),
+			HasBloom:      t.reader.FilterPresent(),
+			MinTS:         t.minTS,
+			MaxTS:         t.maxTS,
+			HasTimeBounds: t.hasTS,
+			Window:        t.window(windowMS),
+			Compression:   t.reader.Compression().String(),
 		})
 	}
 	return out
@@ -1217,18 +1569,29 @@ func (s *Store) tableBytesGauge() int64 {
 	return n
 }
 
-// compactionDebtGauge is the bytes a full compaction would rewrite right
-// now: the whole table set when there are at least two files, zero when the
-// store is already fully compacted ("lsm.compaction_debt_bytes").
+// compactionDebtGauge reports the windowed picker's pending rewrite bytes
+// ("lsm.compaction_debt_bytes"); see compactionDebtLocked.
 func (s *Store) compactionDebtGauge() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.tables) < 2 {
+	return s.compactionDebtLocked()
+}
+
+// hotWindowTablesGauge counts tables in the hot time window
+// ("lsm.hot_window_tables").
+func (s *Store) hotWindowTablesGauge() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.tables) == 0 {
 		return 0
 	}
+	windowMS := s.opts.WindowDuration.Milliseconds()
+	hot := s.tables[0].window(windowMS)
 	var n int64
 	for _, t := range s.tables {
-		n += t.size
+		if t.window(windowMS) == hot {
+			n++
+		}
 	}
 	return n
 }
@@ -1300,6 +1663,11 @@ func (s *Store) Close() error {
 		return err
 	}
 
+	// Stop the background compactor before tearing the table set down; an
+	// in-flight compaction finishes and installs normally first.
+	s.stopOnce.Do(func() { close(s.quit) })
+	s.bg.Wait()
+
 	s.mu.Lock()
 	s.closed = true
 	s.flushCond.Broadcast()
@@ -1309,6 +1677,9 @@ func (s *Store) Close() error {
 	s.mu.Unlock()
 
 	err := log.Close()
+	if merr := s.manifest.close(); err == nil {
+		err = merr
+	}
 	for _, t := range tables {
 		t.release()
 	}

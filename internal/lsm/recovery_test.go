@@ -17,12 +17,17 @@ import (
 // first — any maintenance pass is then a completed (valid) crash point.
 func crashStore(t *testing.T, s *Store) {
 	t.Helper()
+	s.stopOnce.Do(func() { close(s.quit) }) // stop the background compactor
+	s.bg.Wait()
 	s.maintMu.Lock()
 	s.maintMu.Unlock()
+	s.compactMu.Lock()
+	s.compactMu.Unlock()
 	if err := s.log.Sync(); err != nil {
 		t.Fatal(err)
 	}
 	s.log.Close() // release the file lock-equivalent so reopen works
+	s.manifest.close()
 }
 
 // TestCrashRecoveryProperty: after any sequence of puts/deletes/explicit

@@ -168,6 +168,18 @@ func (r *Region) Stats() lsm.Stats { return r.store.Stats() }
 // TableStats reports the backing store's live table files, newest first.
 func (r *Region) TableStats() []lsm.TableStat { return r.store.TableStats() }
 
+// TierStats reports the backing store's table set grouped by compaction
+// time window, newest first.
+func (r *Region) TierStats() []lsm.TierStat { return r.store.TierStats() }
+
+// ScanTime iterates live entries in [lo, hi) clipped to the region bounds,
+// restricted to key timestamps in [minTS, maxTS) unix ms. Table files whose
+// time bounds fall outside the range are pruned without I/O.
+func (r *Region) ScanTime(lo, hi []byte, minTS, maxTS int64, fn func(key, value []byte) error) error {
+	lo, hi = r.clampRange(lo, hi)
+	return r.store.ScanTime(lo, hi, minTS, maxTS, fn)
+}
+
 // Health reports the backing store's liveness (stall, flush pressure).
 func (r *Region) Health() lsm.Health { return r.store.Health() }
 

@@ -1,0 +1,237 @@
+package sstable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tpcxiot/internal/kvp"
+)
+
+// compressibleKVs returns n entries whose values are highly repetitive, so
+// flate should shrink them dramatically.
+func compressibleKVs(n int) map[string]string {
+	kvs := make(map[string]string, n)
+	pad := strings.Repeat("temperature=23.5C humidity=40% ", 16)
+	for i := 0; i < n; i++ {
+		kvs[fmt.Sprintf("key-%06d", i)] = pad
+	}
+	return kvs
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	kvs := compressibleKVs(2000)
+
+	raw := filepath.Join(dir, "raw.sst")
+	buildTable(t, raw, WriterOptions{}, kvs)
+	comp := filepath.Join(dir, "comp.sst")
+	buildTable(t, comp, WriterOptions{Compression: FlateCompression}, kvs)
+
+	rawInfo, err := os.Stat(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compInfo, err := os.Stat(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compInfo.Size() >= rawInfo.Size() {
+		t.Fatalf("compressed table %d B is not smaller than raw %d B", compInfo.Size(), rawInfo.Size())
+	}
+
+	r, err := Open(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Compression() != FlateCompression {
+		t.Fatalf("Compression() = %v, want flate", r.Compression())
+	}
+	for k, v := range kvs {
+		got, err := r.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if string(got) != v {
+			t.Fatalf("Get(%q) = %d bytes, want %d", k, len(got), len(v))
+		}
+	}
+	// Full iteration decompresses every block.
+	it := r.NewIterator()
+	n := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(kvs) {
+		t.Fatalf("iterated %d entries, want %d", n, len(kvs))
+	}
+}
+
+func TestCompressionStatsLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	w, err := NewWriter(path, WriterOptions{Compression: FlateCompression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 256)
+	for i := 0; i < 1000; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("key-%06d", i)), []byte(pad)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rawIn, storedOut := w.CompressionStats()
+	if rawIn == 0 || storedOut == 0 {
+		t.Fatalf("empty compression ledger: raw=%d stored=%d", rawIn, storedOut)
+	}
+	if storedOut >= rawIn {
+		t.Fatalf("compressible data did not shrink: raw=%d stored=%d", rawIn, storedOut)
+	}
+}
+
+// TestIncompressibleBlocksStayRaw: blocks that flate cannot shrink must be
+// stored raw (the ledger shows stored == raw for them) and still read back.
+func TestIncompressibleBlocksStayRaw(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	w, err := NewWriter(path, WriterOptions{Compression: FlateCompression, BlockSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pseudo-random bytes defeat DEFLATE at BestSpeed.
+	rnd := uint64(0x9e3779b97f4a7c15)
+	val := make([]byte, 512)
+	kvs := map[string]string{}
+	for i := 0; i < 200; i++ {
+		for j := range val {
+			rnd ^= rnd << 13
+			rnd ^= rnd >> 7
+			rnd ^= rnd << 17
+			val[j] = byte(rnd)
+		}
+		k := fmt.Sprintf("key-%06d", i)
+		kvs[k] = string(val)
+		if err := w.Add([]byte(k), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rawIn, storedOut := w.CompressionStats()
+	if storedOut < rawIn {
+		t.Logf("some blocks compressed anyway: raw=%d stored=%d", rawIn, storedOut)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for k, v := range kvs {
+		got, err := r.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if !bytes.Equal(got, []byte(v)) {
+			t.Fatalf("Get(%q) mismatch", k)
+		}
+	}
+}
+
+func TestCompressedCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	buildTable(t, path, WriterOptions{Compression: FlateCompression}, compressibleKVs(3000))
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte early in the file: inside a compressed data block.
+	data[len(data)/8] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		// Corruption in the first block may surface at open (bounds load).
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("open error %v, want ErrCorrupt", err)
+		}
+		return
+	}
+	defer r.Close()
+	it := r.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+	}
+	if err := it.Error(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("iterating corrupted table: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestTimeBoundsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	w, err := NewWriter(path, WriterOptions{TimestampOf: kvp.TimestampOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lo, hi = 10_000, 19_000
+	for ts := int64(lo); ts <= hi; ts += 1000 {
+		k := kvp.Key{Substation: "sub", Sensor: "s1", Timestamp: ts}.Encode()
+		if err := w.Add(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if minTS, maxTS, ok := w.TimeBounds(); !ok || minTS != lo || maxTS != hi {
+		t.Fatalf("writer TimeBounds = (%d,%d,%v), want (%d,%d,true)", minTS, maxTS, ok, lo, hi)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if minTS, maxTS, ok := r.TimeBounds(); !ok || minTS != lo || maxTS != hi {
+		t.Fatalf("reader TimeBounds = (%d,%d,%v), want (%d,%d,true)", minTS, maxTS, ok, lo, hi)
+	}
+}
+
+// TestTimeBoundsAbsentWithoutTimestamps: keys the extractor rejects leave the
+// table unwindowed — ok must be false on both writer and reader.
+func TestTimeBoundsAbsentWithoutTimestamps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sst")
+	w, err := NewWriter(path, WriterOptions{TimestampOf: kvp.TimestampOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("plain-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := w.TimeBounds(); ok {
+		t.Fatal("writer reports time bounds for timestamp-free keys")
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, ok := r.TimeBounds(); ok {
+		t.Fatal("reader reports time bounds for timestamp-free keys")
+	}
+}

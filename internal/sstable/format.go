@@ -34,20 +34,71 @@ var (
 )
 
 const (
-	// magic marks a well-formed footer ("IoTSSTb1").
-	magic uint64 = 0x496f545353546231
+	// magicV1 marks a v1 footer ("IoTSSTb1"): no time bounds, no
+	// compression, 4-byte block trailers. Still readable, never written.
+	magicV1 uint64 = 0x496f545353546231
 
-	// footerLen: index handle (16) + bloom handle (16) + entry count (8) +
+	// magicV2 marks a v2 footer ("IoTSSTb2"): adds per-table min/max
+	// timestamps and a compression kind, and every block carries a 5-byte
+	// trailer (compression type + CRC).
+	magicV2 uint64 = 0x496f545353546232
+
+	// footerLenV1: index handle (16) + bloom handle (16) + entry count (8) +
 	// magic (8).
-	footerLen = 48
+	footerLenV1 = 48
+
+	// footerLenV2 adds min timestamp (8) + max timestamp (8) + compression
+	// kind (1) + flags (1) + reserved (6) before the magic.
+	footerLenV2 = footerLenV1 + 24
 
 	// restartInterval is the number of entries between restart points in a
 	// data block.
 	restartInterval = 16
 
-	// blockTrailerLen: 4-byte CRC32C appended to every block.
-	blockTrailerLen = 4
+	// trailerLenV1: 4-byte CRC32C appended to every block.
+	trailerLenV1 = 4
+
+	// trailerLenV2: 1-byte compression type + 4-byte CRC32C over the stored
+	// payload plus the type byte.
+	trailerLenV2 = 5
 )
+
+// Compression selects the per-block encoding of data blocks. Index, filter
+// and footer blocks are always stored raw so table opens stay cheap.
+type Compression uint8
+
+const (
+	// NoCompression stores blocks raw.
+	NoCompression Compression = 0
+	// FlateCompression DEFLATE-compresses data blocks (stdlib compress/flate
+	// at BestSpeed), keeping a block raw when compression does not shrink it.
+	FlateCompression Compression = 1
+)
+
+// String renders the compression kind for flags and reports.
+func (c Compression) String() string {
+	switch c {
+	case NoCompression:
+		return "none"
+	case FlateCompression:
+		return "flate"
+	}
+	return fmt.Sprintf("compression(%d)", uint8(c))
+}
+
+// ParseCompression maps a flag value to a Compression kind.
+func ParseCompression(s string) (Compression, error) {
+	switch s {
+	case "", "none":
+		return NoCompression, nil
+	case "flate":
+		return FlateCompression, nil
+	}
+	return NoCompression, fmt.Errorf("sstable: unknown compression %q (want none or flate)", s)
+}
+
+// footer flag bits.
+const flagHasTimeBounds = 1 << 0
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -69,34 +120,68 @@ func decodeHandle(b []byte) handle {
 	}
 }
 
-// footer is the fixed-size tail of the file.
+// footer is the fixed-size tail of the file. minTS/maxTS are POSIX-ms
+// timestamps extracted from the keys at write time; hasTS is false when no
+// key carried an extractable timestamp (the bounds are then meaningless).
 type footer struct {
-	index   handle
-	bloom   handle
-	entries uint64
+	index       handle
+	bloom       handle
+	entries     uint64
+	minTS       int64
+	maxTS       int64
+	hasTS       bool
+	compression Compression
+	version     int // 1 or 2
 }
 
 func (f footer) encode() []byte {
-	out := make([]byte, footerLen)
+	out := make([]byte, footerLenV2)
 	f.index.encode(out[0:16])
 	f.bloom.encode(out[16:32])
 	binary.LittleEndian.PutUint64(out[32:40], f.entries)
-	binary.LittleEndian.PutUint64(out[40:48], magic)
+	binary.LittleEndian.PutUint64(out[40:48], uint64(f.minTS))
+	binary.LittleEndian.PutUint64(out[48:56], uint64(f.maxTS))
+	out[56] = byte(f.compression)
+	if f.hasTS {
+		out[57] |= flagHasTimeBounds
+	}
+	binary.LittleEndian.PutUint64(out[64:72], magicV2)
 	return out
 }
 
+// decodeFooter parses the tail bytes of a file: b must be the last
+// footerLenV2 bytes (or the last footerLenV1 bytes of a file too short for
+// a v2 footer). The magic in the final 8 bytes selects the version.
 func decodeFooter(b []byte) (footer, error) {
-	if len(b) != footerLen {
+	if len(b) < footerLenV1 {
 		return footer{}, errShortFooter
 	}
-	if binary.LittleEndian.Uint64(b[40:48]) != magic {
-		return footer{}, errBadMagic
+	switch binary.LittleEndian.Uint64(b[len(b)-8:]) {
+	case magicV2:
+		if len(b) < footerLenV2 {
+			return footer{}, errShortFooter
+		}
+		b = b[len(b)-footerLenV2:]
+		return footer{
+			index:       decodeHandle(b[0:16]),
+			bloom:       decodeHandle(b[16:32]),
+			entries:     binary.LittleEndian.Uint64(b[32:40]),
+			minTS:       int64(binary.LittleEndian.Uint64(b[40:48])),
+			maxTS:       int64(binary.LittleEndian.Uint64(b[48:56])),
+			compression: Compression(b[56]),
+			hasTS:       b[57]&flagHasTimeBounds != 0,
+			version:     2,
+		}, nil
+	case magicV1:
+		b = b[len(b)-footerLenV1:]
+		return footer{
+			index:   decodeHandle(b[0:16]),
+			bloom:   decodeHandle(b[16:32]),
+			entries: binary.LittleEndian.Uint64(b[32:40]),
+			version: 1,
+		}, nil
 	}
-	return footer{
-		index:   decodeHandle(b[0:16]),
-		bloom:   decodeHandle(b[16:32]),
-		entries: binary.LittleEndian.Uint64(b[32:40]),
-	}, nil
+	return footer{}, errBadMagic
 }
 
 func checksum(block []byte) uint32 {

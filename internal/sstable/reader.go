@@ -2,7 +2,10 @@ package sstable
 
 import (
 	"bytes"
+	"compress/flate"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 
@@ -22,6 +25,11 @@ type Reader struct {
 	entries uint64
 	first   []byte // smallest key
 	last    []byte // largest key
+
+	version      int         // footer version: 1 (legacy) or 2
+	compression  Compression // data-block encoding declared by the footer
+	minTS, maxTS int64       // time bounds from the v2 footer
+	hasTS        bool        // false for v1 tables and timestamp-less keys
 
 	// cache holds parsed data blocks, bounded LRU-style. Private per
 	// reader unless a shared cache is supplied at open.
@@ -62,11 +70,18 @@ func OpenWithCache(path string, cache *BlockCache) (*Reader, error) {
 }
 
 func (r *Reader) loadFooter() error {
-	if r.size < footerLen {
+	if r.size < footerLenV1 {
 		return corruptf("file of %d bytes has no footer", r.size)
 	}
-	buf := make([]byte, footerLen)
-	if _, err := r.f.ReadAt(buf, r.size-footerLen); err != nil {
+	// Read the largest possible footer; decodeFooter finds the version from
+	// the magic in the final 8 bytes. Files shorter than a v2 footer can
+	// only be v1.
+	n := int64(footerLenV2)
+	if r.size < n {
+		n = footerLenV1
+	}
+	buf := make([]byte, n)
+	if _, err := r.f.ReadAt(buf, r.size-n); err != nil {
 		return fmt.Errorf("sstable: read footer: %w", err)
 	}
 	ft, err := decodeFooter(buf)
@@ -74,6 +89,9 @@ func (r *Reader) loadFooter() error {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	r.entries = ft.entries
+	r.version = ft.version
+	r.compression = ft.compression
+	r.minTS, r.maxTS, r.hasTS = ft.minTS, ft.maxTS, ft.hasTS
 
 	rawIndex, err := r.readBlockRaw(ft.index)
 	if err != nil {
@@ -118,12 +136,18 @@ func (r *Reader) loadBounds() error {
 	return it.Error()
 }
 
-// readBlockRaw reads and checksum-verifies a block.
+// readBlockRaw reads, checksum-verifies and (for v2 tables) decompresses a
+// block. The handle's length is the stored (possibly compressed) payload
+// size; disk-read accounting records the stored bytes actually fetched.
 func (r *Reader) readBlockRaw(h handle) ([]byte, error) {
-	if h.offset+h.length+blockTrailerLen > uint64(r.size) {
+	trailer := uint64(trailerLenV2)
+	if r.version == 1 {
+		trailer = trailerLenV1
+	}
+	if h.offset+h.length+trailer > uint64(r.size) {
 		return nil, corruptf("block handle %d+%d beyond file size %d", h.offset, h.length, r.size)
 	}
-	buf := make([]byte, h.length+blockTrailerLen)
+	buf := make([]byte, h.length+trailer)
 	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
 		return nil, fmt.Errorf("sstable: read block: %w", err)
 	}
@@ -131,12 +155,37 @@ func (r *Reader) readBlockRaw(h handle) ([]byte, error) {
 		r.cache.recordDiskRead(int64(len(buf)))
 	}
 	body := buf[:h.length]
-	want := uint32(buf[h.length]) | uint32(buf[h.length+1])<<8 |
-		uint32(buf[h.length+2])<<16 | uint32(buf[h.length+3])<<24
-	if checksum(body) != want {
+	ctype := NoCompression
+	crcOff := h.length
+	if r.version != 1 {
+		// v2 trailer: [type][crc32(payload+type)].
+		ctype = Compression(buf[h.length])
+		crcOff = h.length + 1
+	}
+	want := uint32(buf[crcOff]) | uint32(buf[crcOff+1])<<8 |
+		uint32(buf[crcOff+2])<<16 | uint32(buf[crcOff+3])<<24
+	got := checksum(body)
+	if r.version != 1 {
+		got = crc32.Update(got, crcTable, buf[h.length:h.length+1])
+	}
+	if got != want {
 		return nil, corruptf("checksum mismatch for block at %d", h.offset)
 	}
-	return body, nil
+	switch ctype {
+	case NoCompression:
+		return body, nil
+	case FlateCompression:
+		fr := flate.NewReader(bytes.NewReader(body))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, corruptf("decompress block at %d: %v", h.offset, err)
+		}
+		if err := fr.Close(); err != nil {
+			return nil, corruptf("decompress block at %d: %v", h.offset, err)
+		}
+		return raw, nil
+	}
+	return nil, corruptf("unknown block compression %d at %d", ctype, h.offset)
 }
 
 // dataBlock returns the parsed data block for a handle, consulting the cache.
@@ -170,6 +219,16 @@ func (r *Reader) FilterPresent() bool { return r.filter != nil }
 // Bounds returns the smallest and largest keys. The slices are shared;
 // callers must not modify them.
 func (r *Reader) Bounds() (first, last []byte) { return r.first, r.last }
+
+// TimeBounds returns the table's min/max key timestamps from the footer.
+// ok is false for legacy v1 tables and tables whose keys carried no
+// extractable timestamp; such tables can never be pruned by time.
+func (r *Reader) TimeBounds() (min, max int64, ok bool) {
+	return r.minTS, r.maxTS, r.hasTS
+}
+
+// Compression reports the data-block encoding declared by the footer.
+func (r *Reader) Compression() Compression { return r.compression }
 
 // MayContain consults the Bloom filter. True is probabilistic; false is
 // definite. Tables written without a filter always return true.

@@ -3,7 +3,9 @@ package sstable
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"tpcxiot/internal/bloom"
@@ -17,6 +19,15 @@ type WriterOptions struct {
 	// BloomBitsPerKey sizes the table's Bloom filter; 0 selects the
 	// package default, negative disables the filter.
 	BloomBitsPerKey int
+	// Compression selects the data-block encoding. Index and filter blocks
+	// stay raw regardless, and a data block that does not shrink is stored
+	// raw with its type byte saying so.
+	Compression Compression
+	// TimestampOf, when non-nil, extracts a timestamp from each added key;
+	// the table's min/max time bounds are recorded in the footer and let
+	// time-range reads prune the whole file. Keys for which it returns
+	// false contribute no bounds.
+	TimestampOf func(key []byte) (int64, bool)
 }
 
 func (o WriterOptions) withDefaults() WriterOptions {
@@ -40,6 +51,17 @@ type Writer struct {
 	entries uint64
 	first   []byte
 	done    bool
+
+	// Time bounds accumulated from TimestampOf over added keys.
+	minTS, maxTS int64
+	hasTS        bool
+
+	// Compression ledger over data blocks: raw bytes in, stored bytes out.
+	// Both stay zero when compression is off.
+	rawIn     int64
+	storedOut int64
+	flate     *flate.Writer
+	cbuf      bytes.Buffer
 }
 
 // NewWriter creates the table file at path (truncating any existing file).
@@ -66,6 +88,17 @@ func (w *Writer) Add(key, value []byte) error {
 	if w.entries == 0 {
 		w.first = append([]byte(nil), key...)
 	}
+	if w.opts.TimestampOf != nil {
+		if ts, ok := w.opts.TimestampOf(key); ok {
+			if !w.hasTS || ts < w.minTS {
+				w.minTS = ts
+			}
+			if !w.hasTS || ts > w.maxTS {
+				w.maxTS = ts
+			}
+			w.hasTS = true
+		}
+	}
 	w.data.add(key, value)
 	w.lastKey = append(w.lastKey[:0], key...)
 	if w.opts.BloomBitsPerKey >= 0 {
@@ -82,7 +115,7 @@ func (w *Writer) flushDataBlock() error {
 	if w.data.empty() {
 		return nil
 	}
-	h, err := w.writeBlock(w.data.finish())
+	h, err := w.writeBlock(w.data.finish(), true)
 	if err != nil {
 		return err
 	}
@@ -93,19 +126,56 @@ func (w *Writer) flushDataBlock() error {
 	return nil
 }
 
-// writeBlock emits a block plus checksum trailer and returns its handle.
-func (w *Writer) writeBlock(raw []byte) (handle, error) {
-	h := handle{offset: w.offset, length: uint64(len(raw))}
-	if _, err := w.w.Write(raw); err != nil {
+// writeBlock emits a block plus its v2 trailer (compression type + CRC over
+// payload and type) and returns its handle. Only data blocks are
+// compressible; a block that does not shrink stays raw.
+func (w *Writer) writeBlock(raw []byte, compressible bool) (handle, error) {
+	stored := raw
+	ctype := NoCompression
+	if compressible && w.opts.Compression == FlateCompression {
+		w.rawIn += int64(len(raw))
+		if cb, ok := w.compress(raw); ok {
+			stored, ctype = cb, FlateCompression
+		}
+		w.storedOut += int64(len(stored))
+	}
+	h := handle{offset: w.offset, length: uint64(len(stored))}
+	if _, err := w.w.Write(stored); err != nil {
 		return handle{}, fmt.Errorf("sstable: write block: %w", err)
 	}
-	var tr [blockTrailerLen]byte
-	putU32(tr[:], checksum(raw))
+	var tr [trailerLenV2]byte
+	tr[0] = byte(ctype)
+	putU32(tr[1:], crc32.Update(checksum(stored), crcTable, tr[:1]))
 	if _, err := w.w.Write(tr[:]); err != nil {
 		return handle{}, fmt.Errorf("sstable: write trailer: %w", err)
 	}
-	w.offset += uint64(len(raw)) + blockTrailerLen
+	w.offset += uint64(len(stored)) + trailerLenV2
 	return h, nil
+}
+
+// compress DEFLATE-encodes raw into the reusable buffer, reporting false
+// when the result would not be smaller (the block is then stored raw).
+func (w *Writer) compress(raw []byte) ([]byte, bool) {
+	w.cbuf.Reset()
+	if w.flate == nil {
+		fw, err := flate.NewWriter(&w.cbuf, flate.BestSpeed)
+		if err != nil {
+			return nil, false
+		}
+		w.flate = fw
+	} else {
+		w.flate.Reset(&w.cbuf)
+	}
+	if _, err := w.flate.Write(raw); err != nil {
+		return nil, false
+	}
+	if err := w.flate.Close(); err != nil {
+		return nil, false
+	}
+	if w.cbuf.Len() >= len(raw) {
+		return nil, false
+	}
+	return w.cbuf.Bytes(), true
 }
 
 func putU32(dst []byte, v uint32) {
@@ -132,12 +202,17 @@ func (w *Writer) Finish() error {
 		return err
 	}
 
-	var ft footer
-	ft.entries = w.entries
+	ft := footer{
+		entries:     w.entries,
+		minTS:       w.minTS,
+		maxTS:       w.maxTS,
+		hasTS:       w.hasTS,
+		compression: w.opts.Compression,
+	}
 
 	if w.opts.BloomBitsPerKey >= 0 {
 		filter := bloom.New(w.keys, w.opts.BloomBitsPerKey)
-		h, err := w.writeBlock(filter)
+		h, err := w.writeBlock(filter, false)
 		if err != nil {
 			w.file.Close()
 			return err
@@ -145,7 +220,7 @@ func (w *Writer) Finish() error {
 		ft.bloom = h
 	}
 
-	ih, err := w.writeBlock(w.index.finish())
+	ih, err := w.writeBlock(w.index.finish(), false)
 	if err != nil {
 		w.file.Close()
 		return err
@@ -183,4 +258,17 @@ func (w *Writer) EntryCount() uint64 { return w.entries }
 // EstimatedSize returns the bytes written plus the pending block.
 func (w *Writer) EstimatedSize() uint64 {
 	return w.offset + uint64(w.data.estimatedSize())
+}
+
+// TimeBounds reports the min/max timestamps extracted from added keys so
+// far; ok is false when no key carried one.
+func (w *Writer) TimeBounds() (min, max int64, ok bool) {
+	return w.minTS, w.maxTS, w.hasTS
+}
+
+// CompressionStats reports the data-block compression ledger: raw bytes
+// offered to the compressor and bytes actually stored. Both are zero when
+// compression is off.
+func (w *Writer) CompressionStats() (rawIn, storedOut int64) {
+	return w.rawIn, w.storedOut
 }
