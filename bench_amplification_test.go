@@ -96,10 +96,14 @@ func BenchmarkClusterAmplification(b *testing.B) {
 			}
 			b.StopTimer()
 
-			// Settle every replica — synchronous flush, then a full
-			// compaction — so the ledger reflects the whole ingest rather
-			// than whatever the background workers got to, and write_amp is
-			// stable enough to gate on in CI.
+			// Settle every replica — drain the quorum pipeline's catch-up
+			// queues, synchronous flush, then a full compaction — so the
+			// ledger reflects the whole ingest rather than whatever the
+			// background workers got to, and write_amp is stable enough to
+			// gate on in CI.
+			if err := cluster.Quiesce(); err != nil {
+				b.Fatal(err)
+			}
 			for _, srv := range cluster.Servers() {
 				for _, r := range srv.Regions() {
 					if err := r.Flush(); err != nil {
@@ -214,6 +218,9 @@ func BenchmarkClusterAmplification(b *testing.B) {
 			// Settle through the windowed picker: cold windows merge to one
 			// table each, the hot window keeps its sub-trigger tables, and
 			// settled cold windows are never rewritten.
+			if err := cluster.Quiesce(); err != nil {
+				b.Fatal(err)
+			}
 			for _, srv := range cluster.Servers() {
 				for _, r := range srv.Regions() {
 					if err := r.Flush(); err != nil {

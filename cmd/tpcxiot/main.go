@@ -26,6 +26,7 @@ import (
 	"tpcxiot/internal/driver"
 	"tpcxiot/internal/hbase"
 	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/replication"
 	"tpcxiot/internal/sstable"
 	"tpcxiot/internal/telemetry"
 	"tpcxiot/internal/wal"
@@ -39,6 +40,9 @@ func main() {
 		threads     = flag.Int("threads", 4, "worker threads per driver instance")
 		writeBuffer = flag.Int64("writebuffer", 256<<10, "client write buffer bytes (hbase.client.write.buffer)")
 		handlers    = flag.Int("handlers", 32, "request handlers per region server")
+		maxInflight = flag.Int("max-inflight", 0, "override -handlers: bounded mutate handler pool per region server (0 keeps -handlers)")
+		quorum      = flag.Int("quorum", 0, "members (primary included) that must apply before a write acks; 0 = majority of the replication factor, -1 = full fan-out (pre-quorum behavior)")
+		shedWater   = flag.Int("shed-watermark", 0, "queued mutates per server beyond which new ones are shed with a retryable overload error (0 = 4x handlers, negative disables shedding)")
 		iterations  = flag.Int("iterations", 2, "benchmark iterations (spec requires 2)")
 		minSeconds  = flag.Float64("minseconds", 1800, "minimum workload execution seconds for validity")
 		dataDir     = flag.String("datadir", "", "data directory (default: temporary)")
@@ -116,18 +120,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	handlerCount := *handlers
+	if *maxInflight > 0 {
+		handlerCount = *maxInflight
+	}
+	quorumAcks := *quorum
+	if quorumAcks < 0 {
+		quorumAcks = replication.DefaultFactor // full fan-out: quorum = factor
+	}
 	cluster, err := hbase.NewCluster(hbase.Config{
-		Nodes:        *nodes,
-		HandlerCount: *handlers,
-		DataDir:      dir,
+		Nodes:         *nodes,
+		HandlerCount:  handlerCount,
+		QuorumAcks:    quorumAcks,
+		ShedWatermark: *shedWater,
+		DataDir:       dir,
 		Store: lsm.Options{
 			WALSync:        walSync,
 			WindowDuration: *compactWin,
 			Compression:    compr,
 		},
-		Registry:     reg,
-		Tracer:       tracer,
-		Logger:       elog,
+		Registry: reg,
+		Tracer:   tracer,
+		Logger:   elog,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -38,6 +38,13 @@ type RowCounter interface {
 	CountRows() (int64, error)
 }
 
+// Quiescer is an optional SUT capability: draining the replication
+// pipeline's catch-up queues so every member converges. The driver calls it
+// after each workload execution, outside the timed window.
+type Quiescer interface {
+	Quiesce() error
+}
+
 // SUT abstracts the system under test so the same driver runs against the
 // live mini-HBase cluster and against test doubles.
 type SUT interface {
@@ -444,6 +451,16 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 	}
 	wg.Wait()
 	end := c.Now()
+	// Writes acknowledge at quorum; let the SUT's stragglers converge before
+	// the execution's counters and row counts are read, so per-member ack
+	// accounting is deterministic. The drain is outside the timed window —
+	// catch-up work is exactly what the quorum pipeline moved off the
+	// critical path.
+	if q, ok := c.SUT.(Quiescer); ok {
+		if err := q.Quiesce(); err != nil {
+			return Execution{Start: start, End: end}, fmt.Errorf("driver: quiesce: %w", err)
+		}
+	}
 
 	exec := Execution{Start: start, End: end}
 	if ticker != nil {

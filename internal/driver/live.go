@@ -61,6 +61,10 @@ func (s *ClusterSUT) Binding(d int) ycsb.Binding {
 // ReplicationFactor implements SUT.
 func (s *ClusterSUT) ReplicationFactor() int { return s.cluster.ReplicationFactor() }
 
+// Quiesce implements Quiescer: it drains every region's replication
+// catch-up queues so stragglers converge before counters are read.
+func (s *ClusterSUT) Quiesce() error { return s.cluster.Quiesce() }
+
 // Cleanup implements SUT: drop the table (purging all ingested data and
 // temporary files) and recreate it empty, the system cleanup of Figure 6.
 func (s *ClusterSUT) Cleanup() error {

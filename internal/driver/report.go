@@ -134,6 +134,32 @@ func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
 			float64(counterValue(t, "wal.appends"))/float64(batches),
 			float64(counterValue(t, "wal.syncs"))/float64(batches))
 	}
+	// Quorum pipeline: the ack latency the caller saw (quorum) against what
+	// a full synchronous fan-out would have charged (all members applied).
+	qSnap, qOK := t.Histogram("replication.quorum_ack")
+	fSnap, fOK := t.Histogram("replication.full_ack")
+	if qOK && qSnap.Count() > 0 {
+		fmt.Fprintf(b, "  replication ack (ns per batch):\n")
+		fmt.Fprintf(b, "    %-18s %s\n", "quorum (acked)", qSnap)
+		if fOK && fSnap.Count() > 0 {
+			fmt.Fprintf(b, "    %-18s %s\n", "full fan-out", fSnap)
+			if qp, fp := qSnap.Percentile(99.9), fSnap.Percentile(99.9); qp > 0 {
+				fmt.Fprintf(b, "    p99.9 quorum %.2fms vs full %.2fms (%.1fx hidden behind the ack)\n",
+					msI(qp), msI(fp), float64(fp)/float64(qp))
+			}
+		}
+		if catchup := counterValue(t, "replication.catchup_batches"); catchup > 0 {
+			fmt.Fprintf(b, "    %d member batch applies finished after the ack (catch-up)\n", catchup)
+		}
+	}
+	if sheds := counterValue(t, "hbase.sheds"); sheds > 0 {
+		fmt.Fprintf(b, "  admission control: %d sheds (%d queue-full), %d client retries, %d retry-exhausted, %d readings deferred\n",
+			sheds,
+			counterValue(t, "replication.catchup_full"),
+			counterValue(t, "hbase.client_retries"),
+			counterValue(t, "hbase.client_retry_exhausted"),
+			counterValue(t, "workload.shed_ops"))
+	}
 	if chunks := counterValue(t, "hbase.scan_chunks"); chunks > 0 {
 		fmt.Fprintf(b, "  scan streaming: %.1f rows/chunk over %d scanners (%d lease expiries)\n",
 			float64(counterValue(t, "hbase.scan_rows_streamed"))/float64(chunks),

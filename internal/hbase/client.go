@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"tpcxiot/internal/telemetry"
 )
@@ -30,8 +32,20 @@ type Client struct {
 	buffered int64
 	closed   bool
 
-	flushesC  *telemetry.Counter // hbase.buffer_flushes
-	flushSpan *telemetry.Timer   // put.client_flush
+	// Overload-retry policy (Config.RetryMax/RetryBaseDelay/RetryMaxDelay):
+	// a shed mutate is retried with capped exponential backoff plus jitter,
+	// never below the server's retry-after hint.
+	retryMax   int
+	retryBase  time.Duration
+	retryCap   time.Duration
+	rng        *rand.Rand
+	retries    int64 // sheds this client retried
+	shedFails  int64 // mutates that stayed shed after every retry
+
+	flushesC   *telemetry.Counter // hbase.buffer_flushes
+	retriesC   *telemetry.Counter // hbase.client_retries
+	shedFailsC *telemetry.Counter // hbase.client_retry_exhausted
+	flushSpan  *telemetry.Timer   // put.client_flush
 }
 
 // NewClient returns an in-process client for the table with the given
@@ -62,7 +76,13 @@ func (cl *Cluster) newClient(tableName string, writeBufferBytes int64, rpc trans
 		tracer:           cl.cfg.Tracer,
 		writeBufferBytes: writeBufferBytes,
 		buffers:          make(map[*tableRegion][]Mutation),
+		retryMax:         cl.cfg.RetryMax,
+		retryBase:        cl.cfg.RetryBaseDelay,
+		retryCap:         cl.cfg.RetryMaxDelay,
+		rng:              rand.New(rand.NewSource(time.Now().UnixNano())),
 		flushesC:         cl.cfg.Registry.Counter("hbase.buffer_flushes"),
+		retriesC:         cl.cfg.Registry.Counter("hbase.client_retries"),
+		shedFailsC:       cl.cfg.Registry.Counter("hbase.client_retry_exhausted"),
 		flushSpan:        cl.cfg.Registry.Timer("put.client_flush"),
 	}, nil
 }
@@ -140,15 +160,53 @@ func (c *Client) flushRegion(tr *tableRegion, sp telemetry.TSpan) error {
 		delete(c.buffers, tr)
 		return nil
 	}
-	rpcSp := sp.Child("rpc.mutate")
-	err := c.rpc.mutate(tr, batch, rpcSp)
-	rpcSp.End()
-	if err != nil {
-		return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
+	var err error
+	for attempt := 0; ; attempt++ {
+		rpcSp := sp.Child("rpc.mutate")
+		err = c.rpc.mutate(tr, batch, rpcSp)
+		rpcSp.End()
+		if err == nil {
+			break
+		}
+		var over *OverloadedError
+		if !errors.As(err, &over) || c.retryMax < 0 || attempt >= c.retryMax {
+			if over != nil {
+				c.shedFails++
+				c.shedFailsC.Inc()
+			}
+			return fmt.Errorf("hbase: flush to %s: %w", tr.info.Name, err)
+		}
+		c.retries++
+		c.retriesC.Inc()
+		time.Sleep(c.backoffDelay(attempt, over.RetryAfter))
 	}
 	c.buffered -= mutationBytes(batch)
 	delete(c.buffers, tr)
 	return nil
+}
+
+// backoffDelay computes the wait before retry #attempt: exponential from
+// RetryBaseDelay, capped at RetryMaxDelay, jittered over [d/2, d) so
+// concurrent shed clients don't retry in lockstep, and never below the
+// server's retry-after hint.
+func (c *Client) backoffDelay(attempt int, hint time.Duration) time.Duration {
+	d := c.retryBase << uint(attempt)
+	if d > c.retryCap || d <= 0 { // <= 0: shift overflow
+		d = c.retryCap
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(c.rng.Int63n(int64(half)+1))
+	}
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// RetryStats reports how many shed mutates this client retried and how many
+// exhausted their retries, for retry-aware op accounting upstream.
+func (c *Client) RetryStats() (retries, exhausted int64) {
+	return c.retries, c.shedFails
 }
 
 // mutationBytes is the buffer accounting for a batch: the same per-mutation

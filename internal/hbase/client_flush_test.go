@@ -104,6 +104,11 @@ func TestMutateBatchSingleEngineRound(t *testing.T) {
 	if err := c.FlushCommits(); err != nil {
 		t.Fatal(err)
 	}
+	// The flush acks at quorum; wait for the straggler's one catch-up round
+	// before counting engine rounds.
+	if err := cl.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
 	tbl, _ := cl.Table("iot")
 	for i, rep := range tbl.regions[0].replicas {
 		st := rep.Store().Stats()

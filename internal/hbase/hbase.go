@@ -53,6 +53,34 @@ type Config struct {
 	// HandlerCount bounds concurrently executing requests per server
 	// (hbase.regionserver.handler.count). Defaults to 32.
 	HandlerCount int
+	// QuorumAcks is how many replication members (always including the
+	// primary) must durably apply a write before it is acknowledged.
+	// 0 selects the majority, ⌈(factor+1)/2⌉; set it to
+	// ReplicationFactor for the legacy full-fan-out ack.
+	QuorumAcks int
+	// CatchUpQueue bounds each member's straggler catch-up queue in
+	// batches; a full queue sheds writes with ErrOverloaded. Defaults to
+	// replication.DefaultMaxQueue.
+	CatchUpQueue int
+	// ShedWatermark is how many mutate requests may queue for a handler
+	// slot per server before further mutates are shed with ErrOverloaded.
+	// 0 selects 4×HandlerCount; negative disables shedding (mutates block,
+	// the pre-admission-control behavior). Reads never shed.
+	ShedWatermark int
+	// RetryMax is how many times a client retries a shed mutate before
+	// surfacing ErrOverloaded. 0 selects 5; negative disables retries.
+	RetryMax int
+	// RetryBaseDelay seeds the client's capped exponential backoff with
+	// jitter (doubling per attempt, floored at the server's retry-after
+	// hint). Defaults to 1ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff. Defaults to 100ms.
+	RetryMaxDelay time.Duration
+	// MemberWrapper, when non-nil, wraps each replication pipeline member
+	// as the group is built — the fault-injection hook saturation
+	// benchmarks and straggler tests use to slow or block one replica.
+	// memberIdx 0 is the primary.
+	MemberWrapper func(regionName string, memberIdx int, app replication.Applier) replication.Applier
 	// ScannerLeaseTimeout bounds how long an idle scanner session survives
 	// between next calls before the server reclaims it
 	// (hbase.client.scanner.timeout.period). Defaults to 60s.
@@ -96,6 +124,28 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.HandlerCount <= 0 {
 		c.HandlerCount = 32
+	}
+	if c.QuorumAcks == 0 {
+		c.QuorumAcks = replication.MajorityQuorum(c.ReplicationFactor)
+	}
+	if c.QuorumAcks < 1 || c.QuorumAcks > c.ReplicationFactor {
+		return c, fmt.Errorf("%w: quorum %d with replication factor %d",
+			ErrBadConfig, c.QuorumAcks, c.ReplicationFactor)
+	}
+	if c.CatchUpQueue <= 0 {
+		c.CatchUpQueue = replication.DefaultMaxQueue
+	}
+	if c.ShedWatermark == 0 {
+		c.ShedWatermark = 4 * c.HandlerCount
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 5
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 100 * time.Millisecond
 	}
 	if c.ScannerLeaseTimeout <= 0 {
 		c.ScannerLeaseTimeout = 60 * time.Second
@@ -149,7 +199,29 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for i := 0; i < c.Nodes; i++ {
 		cl.servers = append(cl.servers, newRegionServer(i,
 			filepath.Join(c.DataDir, fmt.Sprintf("node-%02d", i)),
-			c.HandlerCount, c.ScannerLeaseTimeout, c.Registry))
+			c.HandlerCount, c.ShedWatermark, c.ScannerLeaseTimeout, c.Registry))
+	}
+	if c.Registry != nil {
+		// Live pipeline gauges: the deepest straggler catch-up queue and the
+		// worst member lag behind the quorum watermark, across every region.
+		c.Registry.Gauge("replication.catchup_depth", func() int64 {
+			var max int64
+			for _, g := range cl.groups() {
+				if d := int64(g.MaxQueueDepth()); d > max {
+					max = d
+				}
+			}
+			return max
+		})
+		c.Registry.Gauge("replication.quorum_lag", func() int64 {
+			var max int64
+			for _, g := range cl.groups() {
+				if l := int64(g.QuorumLag()); l > max {
+					max = l
+				}
+			}
+			return max
+		})
 	}
 	return cl, nil
 }
@@ -223,12 +295,56 @@ func (cl *Cluster) CreateTable(name string, splits [][]byte) (*Table, error) {
 			// batch on the batched path.
 			appliers = append(appliers, r)
 		}
-		tr.group = replication.NewGroup(appliers[0], appliers[1:]...)
-		tr.group.Instrument(cl.cfg.Registry.Counter("replication.acks"))
+		tr.group = cl.newGroup(info.Name, appliers)
 		t.regions = append(t.regions, tr)
 	}
 	cl.tables[name] = t
 	return t, nil
+}
+
+// newGroup builds one region's replication pipeline from the cluster
+// config: quorum and queue bound from Config, the fault-injection wrapper
+// applied per member, and the group's instruments resolved.
+func (cl *Cluster) newGroup(regionName string, appliers []replication.Applier) *replication.Group {
+	if w := cl.cfg.MemberWrapper; w != nil {
+		wrapped := make([]replication.Applier, len(appliers))
+		for i, app := range appliers {
+			wrapped[i] = w(regionName, i, app)
+		}
+		appliers = wrapped
+	}
+	g := replication.NewGroupOptions(replication.Options{
+		Quorum:   cl.cfg.QuorumAcks,
+		MaxQueue: cl.cfg.CatchUpQueue,
+	}, appliers[0], appliers[1:]...)
+	g.Instrument(cl.cfg.Registry)
+	return g
+}
+
+// groups snapshots every live replication group with its region name.
+func (cl *Cluster) groups() map[string]*replication.Group {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	out := make(map[string]*replication.Group)
+	for _, t := range cl.tables {
+		for _, tr := range t.regions {
+			out[tr.info.Name] = tr.group
+		}
+	}
+	return out
+}
+
+// Quiesce blocks until every region's stragglers have caught up (all
+// catch-up queues drained) — the settle point for tests, benchmarks, and
+// teardown that must observe fully converged replicas.
+func (cl *Cluster) Quiesce() error {
+	var firstErr error
+	for _, g := range cl.groups() {
+		if err := g.Quiesce(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Table returns routing state for an existing table.
@@ -264,6 +380,11 @@ func (cl *Cluster) DropTable(name string) error {
 func (cl *Cluster) destroyTableLocked(t *Table) error {
 	var firstErr error
 	for _, tr := range t.regions {
+		// Stop the pipeline first: stragglers drain (or are abandoned on a
+		// dead member) before the stores go away underneath them.
+		if tr.group != nil {
+			tr.group.Close()
+		}
 		for _, r := range tr.replicas {
 			if err := r.Destroy(); err != nil && firstErr == nil {
 				firstErr = err
@@ -288,6 +409,14 @@ func (cl *Cluster) Close() error {
 	var firstErr error
 	for _, t := range cl.tables {
 		for _, tr := range t.regions {
+			// Drain each pipeline before closing its stores: quorum-acked
+			// batches still in a straggler's catch-up queue reach disk, so a
+			// clean shutdown leaves every replica converged.
+			if tr.group != nil {
+				if err := tr.group.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
 			for _, r := range tr.replicas {
 				if err := r.Close(); err != nil && firstErr == nil {
 					firstErr = err

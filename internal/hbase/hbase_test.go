@@ -208,6 +208,11 @@ func TestReplicationFactorOnAllReplicas(t *testing.T) {
 	cl, c := newTestCluster(t, 5, [][]byte{[]byte("m")})
 	c.Put([]byte("alpha"), []byte("1"))
 	c.Put([]byte("zulu"), []byte("2"))
+	// Writes ack at quorum; drain the catch-up queues before asserting
+	// all-replica convergence.
+	if err := cl.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
 
 	tbl, _ := cl.Table("iot")
 	for _, tr := range tbl.regions {

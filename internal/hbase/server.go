@@ -20,6 +20,26 @@ import (
 // expiry.
 var ErrUnknownScanner = errors.New("hbase: unknown scanner (closed or lease expired)")
 
+// ErrOverloaded is the retryable load-shed sentinel: the server refused a
+// mutate because its handler queue or a replication catch-up queue exceeded
+// its watermark. Match with errors.Is; the concrete *OverloadedError
+// carries the retry-after hint.
+var ErrOverloaded = errors.New("hbase: server overloaded")
+
+// OverloadedError is the typed retryable error a load-shed returns:
+// errors.Is(err, ErrOverloaded) identifies it, RetryAfter hints how long
+// the client should back off before retrying. It crosses the TCP protocol
+// as a dedicated status frame, so remote clients see the same type.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("hbase: server overloaded, retry after %s", e.RetryAfter)
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
 // RegionServer hosts region replicas and bounds request concurrency with a
 // handler pool, mirroring hbase.regionserver.handler.count.
 type RegionServer struct {
@@ -27,6 +47,14 @@ type RegionServer struct {
 	dir      string
 	service  string // trace-span service label, e.g. "server-2"
 	handlers chan struct{}
+
+	// Admission control: mutates queueing for a handler slot beyond
+	// shedWatermark are refused with a retryable OverloadedError instead of
+	// blocking without bound. shedWatermark < 0 disables shedding.
+	shedWatermark int
+	waiting       atomic.Int64 // mutates currently queued for a slot
+	sheds         atomic.Int64 // mutates refused
+	shedStreak    atomic.Int64 // consecutive sheds since the last admit
 
 	mu      sync.RWMutex
 	regions map[string]*region.Region // every replica hosted here
@@ -60,6 +88,10 @@ type serverMetrics struct {
 	// instruments above remain the cluster-wide roll-up.
 	scanChunksTagged   *telemetry.Counter
 	rowsStreamedTagged *telemetry.Counter
+
+	// Admission-control instruments.
+	shedsC      *telemetry.Counter // hbase.sheds: mutates refused under overload
+	shedsTagged *telemetry.Counter // hbase.sheds{server=N}
 }
 
 // scannerSession is one open server-side scanner. While a next call is
@@ -82,18 +114,24 @@ type ServerStats struct {
 	Mutations    int64
 	RowsRead     int64
 	OpenScanners int
+	// Sheds counts mutates refused under overload; ShedStreak is the run of
+	// consecutive sheds since the last mutate that was admitted and applied
+	// — the sustained-overload signal /healthz keys its 503 on.
+	Sheds      int64
+	ShedStreak int64
 }
 
-func newRegionServer(id int, dir string, handlerCount int, leaseDur time.Duration, reg *telemetry.Registry) *RegionServer {
+func newRegionServer(id int, dir string, handlerCount, shedWatermark int, leaseDur time.Duration, reg *telemetry.Registry) *RegionServer {
 	serverTag := telemetry.Tag{Key: "server", Value: strconv.Itoa(id)}
 	return &RegionServer{
-		id:       id,
-		dir:      dir,
-		service:  "server-" + strconv.Itoa(id),
-		handlers: make(chan struct{}, handlerCount),
-		regions:  make(map[string]*region.Region),
-		scanners: make(map[uint64]*scannerSession),
-		leaseDur: leaseDur,
+		id:            id,
+		dir:           dir,
+		service:       "server-" + strconv.Itoa(id),
+		handlers:      make(chan struct{}, handlerCount),
+		shedWatermark: shedWatermark,
+		regions:       make(map[string]*region.Region),
+		scanners:      make(map[uint64]*scannerSession),
+		leaseDur:      leaseDur,
 		met: serverMetrics{
 			scannerOpens:       reg.Counter("hbase.scanner_opens"),
 			scanChunks:         reg.Counter("hbase.scan_chunks"),
@@ -102,6 +140,8 @@ func newRegionServer(id int, dir string, handlerCount int, leaseDur time.Duratio
 			nextSpan:           reg.Timer("scan.next"),
 			scanChunksTagged:   reg.CounterTagged("hbase.scan_chunks", serverTag),
 			rowsStreamedTagged: reg.CounterTagged("hbase.scan_rows_streamed", serverTag),
+			shedsC:             reg.Counter("hbase.sheds"),
+			shedsTagged:        reg.CounterTagged("hbase.sheds", serverTag),
 		},
 	}
 }
@@ -112,6 +152,40 @@ func (s *RegionServer) ID() int { return s.id }
 // acquire blocks until a handler is free; release returns it.
 func (s *RegionServer) acquire() { s.handlers <- struct{}{} }
 func (s *RegionServer) release() { <-s.handlers }
+
+// admit is acquire with load shedding, used by the write path: a free
+// handler slot is always taken, but once shedWatermark mutates are already
+// queued the request is refused with a retryable OverloadedError instead of
+// deepening the queue. The retry-after hint scales with the queue depth,
+// spreading the retry herd.
+func (s *RegionServer) admit() error {
+	select {
+	case s.handlers <- struct{}{}:
+		return nil
+	default:
+	}
+	waiting := s.waiting.Load()
+	if s.shedWatermark >= 0 && waiting >= int64(s.shedWatermark) {
+		return s.shed(waiting)
+	}
+	s.waiting.Add(1)
+	s.handlers <- struct{}{}
+	s.waiting.Add(-1)
+	return nil
+}
+
+// shed records one refused mutate and builds its typed retryable error.
+func (s *RegionServer) shed(depth int64) error {
+	s.sheds.Add(1)
+	s.shedStreak.Add(1)
+	s.met.shedsC.Inc()
+	s.met.shedsTagged.Inc()
+	hint := time.Duration(depth+1) * time.Millisecond
+	if hint > 50*time.Millisecond {
+		hint = 50 * time.Millisecond
+	}
+	return &OverloadedError{RetryAfter: hint}
+}
 
 // openRegion creates or reopens a region replica on this server. The
 // replica's store registers its instruments under {region=..., server=...}
@@ -172,14 +246,26 @@ func (s *RegionServer) mutateTraced(g *replication.Group, batch []Mutation, pare
 	sp := parent.ChildIn(s.service, "server.mutate")
 	defer sp.End()
 	waitSp := sp.Child("server.handler_wait")
-	s.acquire()
+	if err := s.admit(); err != nil {
+		waitSp.End()
+		return err
+	}
 	waitSp.End()
 	defer s.release()
 	s.requests.Add(1)
 	if err := g.ApplyBatchTraced(sp, batch); err != nil {
+		// A full catch-up queue is the replication layer's overload signal:
+		// surface it as the same retryable shed the handler queue produces.
+		if errors.Is(err, replication.ErrCatchUpFull) {
+			return s.shed(int64(g.MaxQueueDepth()))
+		}
 		return err
 	}
 	s.mutations.Add(int64(len(batch)))
+	// A mutate that was admitted AND applied ends any shed streak — the
+	// streak measures sheds with no successful write in between, whichever
+	// layer (handler queue or catch-up queue) produced them.
+	s.shedStreak.Store(0)
 	return nil
 }
 
@@ -391,5 +477,7 @@ func (s *RegionServer) Stats() ServerStats {
 		Mutations:    s.mutations.Load(),
 		RowsRead:     s.rowsRead.Load(),
 		OpenScanners: s.OpenScannerCount(),
+		Sheds:        s.sheds.Load(),
+		ShedStreak:   s.shedStreak.Load(),
 	}
 }

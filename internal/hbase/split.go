@@ -45,6 +45,13 @@ func (cl *Cluster) SplitRegion(table string, splitKey []byte) error {
 		return fmt.Errorf("%w: %q in %s", ErrBadSplitKey, splitKey, parent.info)
 	}
 
+	// Retire the parent's pipeline first: Close drains every straggler's
+	// catch-up queue, so each replica's store holds all acknowledged writes
+	// before its contents are copied into the children.
+	if err := parent.group.Close(); err != nil {
+		return fmt.Errorf("hbase: drain %s before split: %w", parent.info.Name, err)
+	}
+
 	// Split every replica on its own server, collecting the children.
 	type pair struct {
 		srv         *RegionServer
@@ -86,11 +93,8 @@ func (cl *Cluster) SplitRegion(table string, splitKey []byte) error {
 		leftAppliers = append(leftAppliers, p.left)
 		rightAppliers = append(rightAppliers, p.right)
 	}
-	leftTR.group = replication.NewGroup(leftAppliers[0], leftAppliers[1:]...)
-	rightTR.group = replication.NewGroup(rightAppliers[0], rightAppliers[1:]...)
-	acks := cl.cfg.Registry.Counter("replication.acks")
-	leftTR.group.Instrument(acks)
-	rightTR.group.Instrument(acks)
+	leftTR.group = cl.newGroup(leftTR.info.Name, leftAppliers)
+	rightTR.group = cl.newGroup(rightTR.info.Name, rightAppliers)
 	cl.cfg.Registry.Counter("region.splits").Inc()
 
 	// Install: splice the children in place of the parent and record the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/replication"
 )
 
 // RegionStorage is one hosted replica's view in a StorageReport: the
@@ -18,6 +19,18 @@ type RegionStorage struct {
 	// first): the hot window still absorbing flushes, and cold windows
 	// settled to (or converging on) one table each.
 	Tiers []lsm.TierStat `json:"tiers,omitempty"`
+	// Watermark is the replica's applied replication sequence — how far
+	// this copy has caught up with its group's WAL order.
+	Watermark uint64 `json:"watermark"`
+}
+
+// RegionReplication is one region's quorum-pipeline snapshot in a
+// StorageReport: the commit watermark, each member's applied watermark and
+// catch-up queue depth, and the worst member lag.
+type RegionReplication struct {
+	Region string                 `json:"region"`
+	Group  replication.GroupStats `json:"group"`
+	MaxLag uint64                 `json:"max_lag"`
 }
 
 // StorageReport is the /storage document: the cluster-wide amplification
@@ -39,6 +52,10 @@ type StorageReport struct {
 	BloomFalsePositiveRate float64 `json:"bloom_false_positive_rate"`
 
 	Regions []RegionStorage `json:"regions"`
+
+	// Replication is the per-region quorum-pipeline view: watermarks and
+	// catch-up queue depths for every replication group.
+	Replication []RegionReplication `json:"replication,omitempty"`
 }
 
 // addStats accumulates b into a component-wise. Ratios are recomputed from
@@ -85,11 +102,12 @@ func (cl *Cluster) Storage() StorageReport {
 		rep.Servers++
 		for _, r := range srv.Regions() {
 			rep.Regions = append(rep.Regions, RegionStorage{
-				Region: r.Info().Name,
-				Server: srv.ID(),
-				Stats:  r.Stats(),
-				Tables: r.TableStats(),
-				Tiers:  r.TierStats(),
+				Region:    r.Info().Name,
+				Server:    srv.ID(),
+				Stats:     r.Stats(),
+				Tables:    r.TableStats(),
+				Tiers:     r.TierStats(),
+				Watermark: r.AppliedWatermark(),
 			})
 		}
 	}
@@ -98,6 +116,17 @@ func (cl *Cluster) Storage() StorageReport {
 			return rep.Regions[i].Region < rep.Regions[j].Region
 		}
 		return rep.Regions[i].Server < rep.Regions[j].Server
+	})
+	for name, g := range cl.groups() {
+		st := g.Stats()
+		rep.Replication = append(rep.Replication, RegionReplication{
+			Region: name,
+			Group:  st,
+			MaxLag: st.MaxLag(),
+		})
+	}
+	sort.Slice(rep.Replication, func(i, j int) bool {
+		return rep.Replication[i].Region < rep.Replication[j].Region
 	})
 	for i := range rep.Regions {
 		addStats(&rep.Totals, rep.Regions[i].Stats)
@@ -116,10 +145,16 @@ type RegionHealth struct {
 	Health lsm.Health `json:"health"`
 }
 
-// HealthReport is the /healthz document. OK means every replica is open
-// and no writer is blocked on store-file backpressure; Unhealthy lists
-// only the replicas that are not OK, so a healthy cluster's report is
-// small no matter its size.
+// SustainedShedStreak is how many consecutive load-sheds (with no admit in
+// between) on one server mark the cluster overloaded in /healthz. Isolated
+// sheds are a healthy pressure valve — retryable, invisible to the status
+// code; only a sustained run of them turns the endpoint 503.
+const SustainedShedStreak = 16
+
+// HealthReport is the /healthz document. OK means every replica is open,
+// no writer is blocked on store-file backpressure, and no server is under
+// sustained overload; Unhealthy lists only the replicas that are not OK, so
+// a healthy cluster's report is small no matter its size.
 type HealthReport struct {
 	Timestamp    time.Time `json:"timestamp"`
 	OK           bool      `json:"ok"`
@@ -128,14 +163,34 @@ type HealthReport struct {
 	StallWaiters int64     `json:"stall_waiters"` // writers blocked cluster-wide
 	FlushPending int       `json:"flush_pending"` // replicas with an immutable memtable
 
+	// Admission-control and quorum-pipeline signals.
+	Sheds         int64  `json:"sheds"`          // mutates refused under overload, cluster-wide
+	ShedStreak    int64  `json:"shed_streak"`    // worst per-server run of consecutive sheds
+	Overloaded    bool   `json:"overloaded"`     // a server's streak reached SustainedShedStreak
+	CatchUpDepth  int    `json:"catchup_depth"`  // deepest member catch-up queue, in batches
+	QuorumLag     uint64 `json:"quorum_lag"`     // worst member lag behind a commit watermark
+	StoppedCopies int    `json:"stopped_copies"` // members whose apply worker died
+
 	Unhealthy []RegionHealth `json:"unhealthy,omitempty"`
 }
 
-// Health reports cluster liveness: stalls and flush backlog across every
-// hosted replica.
+// Health reports cluster liveness: stalls, flush backlog, admission-control
+// pressure and replication lag across every hosted replica. OK goes false —
+// and the HTTP endpoint 503 — only on conditions that persist: blocked
+// writers, dead members, or a sustained shed streak; a transient shed or a
+// straggler mid-catch-up keeps the cluster healthy.
 func (cl *Cluster) Health() HealthReport {
 	rep := HealthReport{Timestamp: time.Now(), OK: true}
 	for _, srv := range cl.Servers() {
+		st := srv.Stats()
+		rep.Sheds += st.Sheds
+		if st.ShedStreak > rep.ShedStreak {
+			rep.ShedStreak = st.ShedStreak
+		}
+		if st.ShedStreak >= SustainedShedStreak {
+			rep.Overloaded = true
+			rep.OK = false
+		}
 		for _, r := range srv.Regions() {
 			h := r.Health()
 			rep.Regions++
@@ -153,6 +208,23 @@ func (cl *Cluster) Health() HealthReport {
 					Server: srv.ID(),
 					Health: h,
 				})
+			}
+		}
+	}
+	for _, g := range cl.groups() {
+		st := g.Stats()
+		if lag := st.MaxLag(); lag > rep.QuorumLag {
+			rep.QuorumLag = lag
+		}
+		for _, q := range st.Queue {
+			if q > rep.CatchUpDepth {
+				rep.CatchUpDepth = q
+			}
+		}
+		for _, stopped := range st.Stopped {
+			if stopped {
+				rep.StoppedCopies++
+				rep.OK = false
 			}
 		}
 	}

@@ -103,6 +103,12 @@ func (cl *Cluster) serveConn(conn net.Conn, srv *RegionServer) {
 // frame, right after the status, for client-side stitching.
 func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServer) {
 	fail := func(err error) {
+		var over *OverloadedError
+		if errors.As(err, &over) {
+			resp.reset(statusOverloaded)
+			resp.uvarint(uint64(over.RetryAfter.Microseconds()))
+			return
+		}
 		resp.reset(statusErr)
 		resp.str(err.Error())
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"tpcxiot/internal/telemetry"
 )
@@ -132,6 +133,15 @@ func (t *tcpTransport) call(srv *RegionServer, req *frameWriter, resp *frameRead
 			return fail(err)
 		}
 		return errors.New(msg) // server-side error; connection stays usable
+	}
+	if resp.op == statusOverloaded {
+		us, err := resp.uvarint()
+		if err != nil {
+			return fail(err)
+		}
+		// A shed is a healthy refusal: reconstruct the typed retryable
+		// error; the connection stays usable for the retry.
+		return &OverloadedError{RetryAfter: time.Duration(us) * time.Microsecond}
 	}
 	if resp.op != statusOK {
 		return fail(fmt.Errorf("%w: status %d", ErrBadFrame, resp.op))

@@ -41,10 +41,14 @@ const (
 	opScanClose byte = 5
 )
 
-// response statuses.
+// response statuses. statusOverloaded is a load-shed: the typed retryable
+// refusal (an *OverloadedError), carrying its retry-after hint in
+// microseconds, so remote clients reconstruct the same error value the
+// in-process transport returns.
 const (
-	statusOK  byte = 0
-	statusErr byte = 1
+	statusOK         byte = 0
+	statusErr        byte = 1
+	statusOverloaded byte = 2
 )
 
 // frame flags. Requests use flagTrace (a trace header follows the flags

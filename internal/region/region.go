@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 
 	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/telemetry"
@@ -59,6 +60,11 @@ type Region struct {
 	info    Info
 	store   *lsm.Store
 	service string // trace-span service label, e.g. "node-02/iot,00001"
+
+	// watermark is the replication sequence this replica last durably
+	// applied (see replication.WatermarkObserver). Zero for a region that
+	// never received replicated writes.
+	watermark atomic.Uint64
 }
 
 // Open creates or reopens the region's store under dir.
@@ -77,6 +83,22 @@ func Open(info Info, dir string, storeOpts lsm.Options) (*Region, error) {
 
 // Info returns the region's identity.
 func (r *Region) Info() Info { return r.info }
+
+// NoteApplied records the replication sequence this replica has durably
+// applied through — the replication worker calls it after each batch, and
+// the monotonic guard makes stale notifications harmless.
+func (r *Region) NoteApplied(seq uint64) {
+	for {
+		cur := r.watermark.Load()
+		if seq <= cur || r.watermark.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// AppliedWatermark returns the replica's applied replication sequence, for
+// the cluster's /storage document and replica-read gating.
+func (r *Region) AppliedWatermark() uint64 { return r.watermark.Load() }
 
 // Store exposes the backing store for engine stats and tests.
 func (r *Region) Store() *lsm.Store { return r.store }

@@ -35,12 +35,19 @@ func (m *mapApplier) Delete(key []byte) error {
 func TestPutReachesAllMembers(t *testing.T) {
 	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
 	g := NewGroup(p, r1, r2)
+	defer g.Close()
 	if g.Factor() != 3 {
 		t.Fatalf("Factor = %d, want 3", g.Factor())
+	}
+	if g.Quorum() != 2 {
+		t.Fatalf("Quorum = %d, want 2", g.Quorum())
 	}
 	if err := g.Put([]byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
+	// The ack fires at quorum; quiesce so the catch-up queues drain before
+	// asserting all-member convergence.
+	g.Quiesce()
 	for i, m := range []*mapApplier{p, r1, r2} {
 		if m.data["k"] != "v" {
 			t.Fatalf("member %d missing write", i)
@@ -51,10 +58,12 @@ func TestPutReachesAllMembers(t *testing.T) {
 func TestDeleteReachesAllMembers(t *testing.T) {
 	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
 	g := NewGroup(p, r1, r2)
+	defer g.Close()
 	g.Put([]byte("k"), []byte("v"))
 	if err := g.Delete([]byte("k")); err != nil {
 		t.Fatal(err)
 	}
+	g.Quiesce()
 	for i, m := range []*mapApplier{p, r1, r2} {
 		if _, ok := m.data["k"]; ok {
 			t.Fatalf("member %d still holds deleted key", i)
@@ -148,17 +157,23 @@ func TestPlacementTooFewNodes(t *testing.T) {
 }
 
 func TestPipelineOrdering(t *testing.T) {
-	// The primary must be applied before any replica, so a failure in the
-	// primary leaves replicas untouched.
+	// The fan-out is parallel, so replicas may apply a write the primary
+	// rejected — but the batch must FAIL, the primary's standing error must
+	// be visible, and the commit watermark must not advance past it.
 	p, r1 := newMapApplier(), newMapApplier()
 	sentinel := errors.New("primary down")
 	p.fail = sentinel
 	g := NewGroup(p, r1)
+	defer g.Close()
 	if err := g.Put([]byte("k"), []byte("v")); !errors.Is(err, sentinel) {
 		t.Fatal("primary failure not surfaced")
 	}
-	if len(r1.data) != 0 {
-		t.Fatal("replica applied a write the primary rejected")
+	g.Quiesce()
+	if err := g.MemberErr(0); !errors.Is(err, sentinel) {
+		t.Fatalf("primary standing error = %v, want %v", err, sentinel)
+	}
+	if got := g.CommitSeq(); got != 0 {
+		t.Fatalf("commit watermark advanced to %d past a failed primary", got)
 	}
 }
 
@@ -171,13 +186,21 @@ func TestGroupWithManyMembers(t *testing.T) {
 		appliers[i-1] = members[i]
 	}
 	g := NewGroup(members[0], appliers...)
+	defer g.Close()
 	if g.Factor() != 5 {
 		t.Fatalf("Factor = %d", g.Factor())
+	}
+	if g.Quorum() != 3 {
+		t.Fatalf("Quorum = %d, want 3", g.Quorum())
 	}
 	for i := 0; i < 100; i++ {
 		if err := g.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
+	}
+	g.Quiesce()
+	if lag := g.QuorumLag(); lag != 0 {
+		t.Fatalf("quorum lag %d after quiesce", lag)
 	}
 	for i, m := range members {
 		if len(m.data) != 100 {
@@ -223,9 +246,11 @@ func TestApplyBatchReachesAllMembersInOneRound(t *testing.T) {
 		{mapApplier: *newMapApplier()},
 	}
 	g := NewGroup(members[0], members[1], members[2])
+	defer g.Close()
 	if err := g.ApplyBatch(testBatch(50)); err != nil {
 		t.Fatal(err)
 	}
+	g.Quiesce()
 	for i, m := range members {
 		if len(m.data) != 50 {
 			t.Fatalf("member %d holds %d keys, want 50", i, len(m.data))
@@ -263,16 +288,43 @@ func TestApplyBatchEmptyIsNoOp(t *testing.T) {
 }
 
 func TestApplyBatchMemberFailureWins(t *testing.T) {
+	// At full quorum (quorum == factor) a single replica failure makes the
+	// quorum unreachable, so the batch fails and the member's error wins.
+	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
+	sentinel := errors.New("replica disk gone")
+	r1.fail = sentinel
+	g := NewGroupOptions(Options{Quorum: 3}, p, r1, r2)
+	defer g.Close()
+	if err := g.ApplyBatch(testBatch(5)); !errors.Is(err, sentinel) {
+		t.Fatalf("member failure not surfaced: %v", err)
+	}
+	g.Quiesce()
+	// The parallel fan-out still applied the batch on healthy members.
+	if len(p.data) != 5 || len(r2.data) != 5 {
+		t.Fatalf("healthy members hold %d/%d keys, want 5/5", len(p.data), len(r2.data))
+	}
+}
+
+func TestApplyBatchQuorumToleratesReplicaFailure(t *testing.T) {
+	// At majority quorum the same replica failure is absorbed: the batch
+	// acks on primary+r2 and the failed member carries a standing error.
 	p, r1, r2 := newMapApplier(), newMapApplier(), newMapApplier()
 	sentinel := errors.New("replica disk gone")
 	r1.fail = sentinel
 	g := NewGroup(p, r1, r2)
-	if err := g.ApplyBatch(testBatch(5)); !errors.Is(err, sentinel) {
-		t.Fatalf("member failure not surfaced: %v", err)
+	defer g.Close()
+	if err := g.ApplyBatch(testBatch(5)); err != nil {
+		t.Fatalf("quorum write failed despite a healthy majority: %v", err)
 	}
-	// The parallel fan-out still applied the batch on healthy members.
+	g.Quiesce()
 	if len(p.data) != 5 || len(r2.data) != 5 {
 		t.Fatalf("healthy members hold %d/%d keys, want 5/5", len(p.data), len(r2.data))
+	}
+	if err := g.MemberErr(1); !errors.Is(err, sentinel) {
+		t.Fatalf("failed member's standing error = %v, want %v", err, sentinel)
+	}
+	if g.CommitSeq() != 1 {
+		t.Fatalf("commit = %d, want 1", g.CommitSeq())
 	}
 }
 
