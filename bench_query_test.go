@@ -1,0 +1,227 @@
+// Query-aggregation microbenchmark for the pushdown path (PR 9): a
+// dashboard-style windowed aggregation over one sensor's trailing span,
+// evaluated either by streaming the raw 1 KiB rows to the client and
+// folding there (the PR 3 baseline) or pushed down into the region servers
+// so only per-window partials cross the client boundary. Results are
+// captured in results/BENCH_PR9.json and discussed in EXPERIMENTS.md.
+package tpcxiot
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"tpcxiot/internal/hbase"
+	"tpcxiot/internal/kvp"
+	"tpcxiot/internal/lsm"
+	"tpcxiot/internal/wal"
+)
+
+// BenchmarkClusterQueryAggregate measures one windowed aggregation query —
+// count/min/max/sum/avg over 10 windows of a fixed time span — on a 3-node,
+// 3-way-replicated table holding kvp-format readings, split mid-series so
+// the pushed-down path also exercises cross-region partial merging.
+//
+// Swept dimensions:
+//
+//	path    streamed (chunked Scanner + client-side fold, the dashboard
+//	        baseline) vs pushdown (Client.Aggregate, server-side fold)
+//	rows    readings the query covers (1000, 10000)
+//	ingest  idle vs a concurrent full-rate writer appending fresh readings
+//	        to the same sensors — the query-during-ingest shape
+//
+// Beyond ns/op: rows/s is aggregation throughput, clientB/op is the payload
+// the client actually received — the byte-reduction headline.
+func BenchmarkClusterQueryAggregate(b *testing.B) {
+	const (
+		substation = "sub0"
+		sensor     = "pmu-000"
+		seeded     = 10_000 // readings for the queried sensor, 1 per ms
+		windows    = 10
+	)
+
+	encodePair := func(ts int64, reading float64) (k, v []byte) {
+		key := kvp.Key{Substation: substation, Sensor: sensor, Timestamp: ts}
+		rs := strconv.FormatFloat(reading, 'f', 2, 64)
+		pad, err := kvp.PaddingFor(key, rs, "volt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		val := kvp.Value{Reading: rs, Unit: "volt", Padding: bytes.Repeat([]byte("p"), pad)}
+		return key.Encode(), val.Encode()
+	}
+
+	newSeededCluster := func(b *testing.B) *hbase.Cluster {
+		b.Helper()
+		dir, err := os.MkdirTemp("", "tpcxiot-agg-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { os.RemoveAll(dir) })
+		// Split inside the sensor's time run: partials for the boundary
+		// window arrive from two regions and must merge client-side.
+		splits := [][]byte{
+			kvp.Key{Substation: substation, Sensor: sensor, Timestamp: seeded / 2}.Encode(),
+		}
+		cluster, err := hbase.NewCluster(hbase.Config{
+			Nodes:   3,
+			DataDir: dir,
+			Store:   lsm.Options{WALSync: wal.SyncNever, MemtableSize: 8 << 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { cluster.Close() })
+		if _, err := cluster.CreateTable("agg", splits); err != nil {
+			b.Fatal(err)
+		}
+		seedClient, err := cluster.NewClient("agg", 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for ts := int64(0); ts < seeded; ts++ {
+			k, v := encodePair(ts, float64(ts%997))
+			if err := seedClient.Put(k, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := seedClient.FlushCommits(); err != nil {
+			b.Fatal(err)
+		}
+		return cluster
+	}
+
+	// startIngest appends fresh readings for the same sensor above the
+	// queried time range, at full rate, while queries run.
+	startIngest := func(cluster *hbase.Cluster) (stop func()) {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc, err := cluster.NewClient("agg", 64<<10)
+			if err != nil {
+				return
+			}
+			defer wc.Close()
+			for ts := int64(seeded); ; ts++ {
+				select {
+				case <-done:
+					wc.FlushCommits()
+					return
+				default:
+				}
+				k, v := encodePair(ts, float64(ts%997))
+				if err := wc.Put(k, v); err != nil {
+					return
+				}
+			}
+		}()
+		return func() { close(done); wg.Wait() }
+	}
+
+	const allFuncs = lsm.AggCount | lsm.AggMin | lsm.AggMax | lsm.AggSum | lsm.AggAvg
+
+	for _, ingest := range []string{"idle", "live"} {
+		for _, path := range []string{"streamed", "pushdown"} {
+			for _, rows := range []int{1_000, 10_000} {
+				name := fmt.Sprintf("ingest=%s/path=%s/rows=%d", ingest, path, rows)
+				b.Run(name, func(b *testing.B) {
+					cluster := newSeededCluster(b)
+					client, err := cluster.NewClient("agg", 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					minTS, maxTS := int64(0), int64(rows)
+					windowMS := (maxTS - minTS) / windows
+					lo, hi := kvp.RangeFor(substation, sensor, minTS, maxTS)
+					var stop func()
+					if ingest == "live" {
+						stop = startIngest(cluster)
+					}
+					var clientBytes int64
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						var folded int64
+						switch path {
+						case "pushdown":
+							res, err := client.Aggregate(lo, hi, minTS, maxTS, windowMS, allFuncs)
+							if err != nil {
+								b.Fatal(err)
+							}
+							folded = res.RowsFolded
+							for _, w := range res.Windows {
+								// Series bytes + window start, count and the
+								// three float64 fields.
+								clientBytes += int64(len(w.Series)) + 8*5
+							}
+						case "streamed":
+							sc, err := client.NewScanner(lo, hi, 0)
+							if err != nil {
+								b.Fatal(err)
+							}
+							var agg []lsm.WindowAgg
+							for {
+								row, ok, err := sc.Next()
+								if err != nil {
+									b.Fatal(err)
+								}
+								if !ok {
+									break
+								}
+								clientBytes += int64(len(row.Key) + len(row.Value))
+								ts, tsOK := kvp.TimestampOf(row.Key)
+								if !tsOK || ts < minTS || ts >= maxTS {
+									continue
+								}
+								v, err := kvp.ReadingOf(row.Value)
+								if err != nil {
+									b.Fatal(err)
+								}
+								wstart := minTS + (ts-minTS)/windowMS*windowMS
+								n := len(agg)
+								if n == 0 || agg[n-1].WindowStart != wstart {
+									agg = append(agg, lsm.WindowAgg{
+										WindowStart: wstart,
+										Min:         math.Inf(1),
+										Max:         math.Inf(-1),
+									})
+									n++
+								}
+								w := &agg[n-1]
+								w.Count++
+								if v < w.Min {
+									w.Min = v
+								}
+								if v > w.Max {
+									w.Max = v
+								}
+								w.Sum += v
+								folded++
+							}
+							if err := sc.Close(); err != nil {
+								b.Fatal(err)
+							}
+						}
+						if folded != int64(rows) {
+							b.Fatalf("query folded %d rows, want %d", folded, rows)
+						}
+					}
+					b.StopTimer()
+					if stop != nil {
+						stop()
+					}
+					b.ReportMetric(float64(clientBytes)/float64(b.N), "clientB/op")
+					if el := b.Elapsed().Seconds(); el > 0 {
+						b.ReportMetric(float64(b.N)*float64(rows)/el, "rows/s")
+					}
+				})
+			}
+		}
+	}
+}

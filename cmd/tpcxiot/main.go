@@ -51,6 +51,8 @@ func main() {
 		compactWin  = flag.Duration("compact-window", 5*time.Minute, "time-window width for tiered compaction; only the window holding the newest data is rewritten repeatedly (default ~300 readings/sensor at the 1 Hz benchmark cadence)")
 		compression = flag.String("compression", "none", "SSTable data-block compression: none or flate")
 		useTCP      = flag.Bool("tcp", false, "drive the cluster over its loopback TCP wire protocol")
+		pushdown    = flag.Bool("pushdown", false, "evaluate dashboard query aggregation inside the region servers (server-side aggregation pushdown) instead of streaming raw rows to the client")
+		analytics   = flag.Bool("analytics", false, "add downsampling and group-by-window analytic query templates to the query rotation (reported separately from the dashboard validity statistics)")
 		status      = flag.Duration("status", 0, "log a status line for driver 0 on this interval (e.g. 2s)")
 
 		telemetryOn  = flag.Bool("telemetry", false, "collect engine counters, op-path spans and a per-interval time series")
@@ -213,6 +215,8 @@ func main() {
 		Iterations:         *iterations,
 		MinWorkloadSeconds: *minSeconds,
 		StatusInterval:     *status,
+		Pushdown:           *pushdown,
+		Analytics:          *analytics,
 		Telemetry:          reg,
 		TelemetryInterval:  *telemetryInt,
 		HealthInterval:     *healthInt,

@@ -120,6 +120,21 @@ type Config struct {
 	// right after it starts — the hook a signal handler uses to snapshot the
 	// in-flight interval series on interrupt.
 	OnTicker func(*telemetry.Ticker)
+	// Pushdown routes the dashboard query templates through the SUT's
+	// server-side aggregation path when the binding implements
+	// ycsb.Aggregator; bindings without the capability fall back to the
+	// streamed scans, so the flag is safe against any SUT.
+	Pushdown bool
+	// Analytics adds the downsampling and group-by-window query templates to
+	// the per-thread query rotation. They are reported separately and do not
+	// perturb the Figure-12 dashboard validity statistics.
+	Analytics bool
+
+	// sequencer issues per-sensor monotonic timestamps shared by every
+	// workload execution of this run, so a measured run never re-mints a
+	// millisecond its warmup already used for the same sensor (generated keys
+	// stay unique across executions and the stored-rows check is exact).
+	sequencer *workload.Sequencer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -155,6 +170,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TelemetryInterval <= 0 {
 		c.TelemetryInterval = 10 * time.Second
+	}
+	if c.sequencer == nil {
+		c.sequencer = workload.NewSequencer()
 	}
 	return c, nil
 }
@@ -422,6 +440,9 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 				Seed:       c.Seed ^ (uint64(d)+1)*0x2545f4914f6cdd1d ^ salt*0x9e3779b97f4a7c15,
 				Now:        c.Now,
 				Registry:   c.Telemetry,
+				Pushdown:   c.Pushdown,
+				Analytics:  c.Analytics,
+				Sequencer:  c.sequencer,
 			})
 			if err != nil {
 				runs[d].err = err

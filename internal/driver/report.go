@@ -6,8 +6,14 @@ import (
 	"strings"
 	"time"
 
+	"tpcxiot/internal/kvp"
 	"tpcxiot/internal/telemetry"
 )
+
+// aggWindowWireBytes approximates one per-window partial on the wire
+// (series prefix + varint window start, count, and three float64 fields) for
+// the report's bytes-saved estimate.
+const aggWindowWireBytes = 64
 
 // Report renders the run report printed after the second iteration's data
 // check (Figure 6): every number needed to audit and publish the result.
@@ -165,6 +171,19 @@ func writeTelemetry(b *strings.Builder, t *telemetry.Summary) {
 			float64(counterValue(t, "hbase.scan_rows_streamed"))/float64(chunks),
 			counterValue(t, "hbase.scanner_opens"),
 			counterValue(t, "hbase.scanner_lease_expiries"))
+	}
+	if aggQ := counterValue(t, "hbase.agg_queries"); aggQ > 0 {
+		folded := counterValue(t, "hbase.agg_rows_folded")
+		windows := counterValue(t, "hbase.agg_windows")
+		fmt.Fprintf(b, "  aggregation pushdown: %d queries, %d rows folded server-side into %d windows\n",
+			aggQ, folded, windows)
+		// Every folded row would have crossed the client boundary as a full
+		// kvp on the streamed path; a window partial is a few dozen bytes.
+		saved := folded*kvp.PairSize - windows*aggWindowWireBytes
+		if saved > 0 {
+			fmt.Fprintf(b, "    est. client bytes saved: %s (%.1f rows reduced per query)\n",
+				mib(saved), float64(folded)/float64(aggQ))
+		}
 	}
 	if le := counterValue(t, "hbase.scanner_lease_expiries"); le > 0 {
 		fmt.Fprintf(b, "  WARNING: %d scanner lease(s) expired mid-scan — queries may have\n"+

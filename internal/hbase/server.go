@@ -92,6 +92,18 @@ type serverMetrics struct {
 	// Admission-control instruments.
 	shedsC      *telemetry.Counter // hbase.sheds: mutates refused under overload
 	shedsTagged *telemetry.Counter // hbase.sheds{server=N}
+
+	// Aggregation-pushdown instruments: queries served, rows folded into
+	// partial aggregates inside the server (rows that never crossed the
+	// wire), and window partials returned. aggSpan times one server-side
+	// fold ("agg.fold" in the trace tree).
+	aggQueries    *telemetry.Counter // hbase.agg_queries
+	aggRowsFolded *telemetry.Counter // hbase.agg_rows_folded
+	aggWindows    *telemetry.Counter // hbase.agg_windows
+	aggSpan       *telemetry.Timer   // agg.fold: one region fold
+
+	aggQueriesTagged    *telemetry.Counter
+	aggRowsFoldedTagged *telemetry.Counter
 }
 
 // scannerSession is one open server-side scanner. While a next call is
@@ -142,6 +154,13 @@ func newRegionServer(id int, dir string, handlerCount, shedWatermark int, leaseD
 			rowsStreamedTagged: reg.CounterTagged("hbase.scan_rows_streamed", serverTag),
 			shedsC:             reg.Counter("hbase.sheds"),
 			shedsTagged:        reg.CounterTagged("hbase.sheds", serverTag),
+
+			aggQueries:          reg.Counter("hbase.agg_queries"),
+			aggRowsFolded:       reg.Counter("hbase.agg_rows_folded"),
+			aggWindows:          reg.Counter("hbase.agg_windows"),
+			aggSpan:             reg.Timer("agg.fold"),
+			aggQueriesTagged:    reg.CounterTagged("hbase.agg_queries", serverTag),
+			aggRowsFoldedTagged: reg.CounterTagged("hbase.agg_rows_folded", serverTag),
 		},
 	}
 }
@@ -406,6 +425,44 @@ func (s *RegionServer) nextTraced(id uint64, chunk int, parent telemetry.TSpan) 
 	s.met.scanChunksTagged.Inc()
 	s.met.rowsStreamedTagged.Add(int64(n))
 	return rows, !finished, iterErr
+}
+
+// aggregate is the server-side aggregation RPC: one handler slot covers the
+// whole fold, which runs inside the region against a snapshot-pinned
+// iterator with file-level key/time/Bloom pruning, and only the per-window
+// partials come back — the rows are reduced where they live. Reads take
+// acquire (never shed), consistent with get and the scanner RPCs.
+func (s *RegionServer) aggregate(r *region.Region, lo, hi []byte, minTS, maxTS, windowMS int64, funcs lsm.AggFuncs) (lsm.AggResult, error) {
+	return s.aggregateTraced(r, lo, hi, minTS, maxTS, windowMS, funcs, telemetry.TSpan{})
+}
+
+// aggregateTraced is aggregate under a trace span: the RPC appears as
+// "server.aggregate" in this server's service with the handler wait and the
+// fold ("agg.fold") as children.
+func (s *RegionServer) aggregateTraced(r *region.Region, lo, hi []byte, minTS, maxTS, windowMS int64, funcs lsm.AggFuncs, parent telemetry.TSpan) (lsm.AggResult, error) {
+	tsp := parent.ChildIn(s.service, "server.aggregate")
+	defer tsp.End()
+	waitSp := tsp.Child("server.handler_wait")
+	s.acquire()
+	waitSp.End()
+	defer s.release()
+	s.requests.Add(1)
+
+	foldSp := tsp.Child("agg.fold")
+	sp := s.met.aggSpan.Start()
+	res, err := r.AggregateTime(lo, hi, minTS, maxTS, windowMS, funcs)
+	sp.End()
+	foldSp.End()
+	if err != nil {
+		return lsm.AggResult{}, err
+	}
+	s.rowsRead.Add(res.RowsFolded)
+	s.met.aggQueries.Inc()
+	s.met.aggRowsFolded.Add(res.RowsFolded)
+	s.met.aggWindows.Add(int64(len(res.Windows)))
+	s.met.aggQueriesTagged.Inc()
+	s.met.aggRowsFoldedTagged.Add(res.RowsFolded)
+	return res, nil
 }
 
 // closeScanner is the scanner-session close RPC. Closing an id the server

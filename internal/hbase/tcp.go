@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 
+	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/telemetry"
 )
 
@@ -239,6 +241,48 @@ func (cl *Cluster) dispatch(req *frameReader, resp *frameWriter, srv *RegionServ
 		for _, row := range rows {
 			resp.bytes(row.Key)
 			resp.bytes(row.Value)
+		}
+
+	case opAggregate:
+		lo, err := req.optBytes()
+		if err != nil {
+			fail(err)
+			return
+		}
+		hi, err := req.optBytes()
+		if err != nil {
+			fail(err)
+			return
+		}
+		var minTS, maxTS, windowMS uint64
+		for _, dst := range []*uint64{&minTS, &maxTS, &windowMS} {
+			if *dst, err = req.uvarint(); err != nil {
+				fail(err)
+				return
+			}
+		}
+		funcs, err := req.uvarint()
+		if err != nil {
+			fail(err)
+			return
+		}
+		res, err := srv.aggregateTraced(tr.replicas[0], lo, hi,
+			int64(minTS), int64(maxTS), int64(windowMS), lsm.AggFuncs(funcs), parent)
+		if err != nil {
+			fail(err)
+			return
+		}
+		ok()
+		resp.uvarint(uint64(res.RowsFolded))
+		resp.uvarint(uint64(len(res.Windows)))
+		for i := range res.Windows {
+			w := &res.Windows[i]
+			resp.bytes(w.Series)
+			resp.uvarint(uint64(w.WindowStart))
+			resp.uvarint(uint64(w.Count))
+			resp.uvarint(math.Float64bits(w.Min))
+			resp.uvarint(math.Float64bits(w.Max))
+			resp.uvarint(math.Float64bits(w.Sum))
 		}
 
 	case opScanClose:

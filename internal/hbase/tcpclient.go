@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"time"
 
+	"tpcxiot/internal/lsm"
 	"tpcxiot/internal/telemetry"
 )
 
@@ -23,6 +25,7 @@ type transport interface {
 	openScanner(tr *tableRegion, lo, hi []byte, limit int, sp telemetry.TSpan) (uint64, error)
 	scanNext(tr *tableRegion, id uint64, chunk int, sp telemetry.TSpan) ([]Row, bool, error)
 	closeScanner(tr *tableRegion, id uint64, sp telemetry.TSpan) error
+	aggregate(tr *tableRegion, lo, hi []byte, minTS, maxTS, windowMS int64, funcs lsm.AggFuncs, sp telemetry.TSpan) (lsm.AggResult, error)
 	close() error
 }
 
@@ -49,6 +52,10 @@ func (inprocTransport) scanNext(tr *tableRegion, id uint64, chunk int, sp teleme
 
 func (inprocTransport) closeScanner(tr *tableRegion, id uint64, sp telemetry.TSpan) error {
 	return tr.primary.closeScanner(id)
+}
+
+func (inprocTransport) aggregate(tr *tableRegion, lo, hi []byte, minTS, maxTS, windowMS int64, funcs lsm.AggFuncs, sp telemetry.TSpan) (lsm.AggResult, error) {
+	return tr.primary.aggregateTraced(tr.replicas[0], lo, hi, minTS, maxTS, windowMS, funcs, sp)
 }
 
 func (inprocTransport) close() error { return nil }
@@ -247,6 +254,65 @@ func (t *tcpTransport) scanNext(tr *tableRegion, id uint64, chunk int, sp teleme
 	// of re-copying every key and value. resp is stack-local, so dropping
 	// the reference is all the detaching needed.
 	return rows, more == 1, nil
+}
+
+func (t *tcpTransport) aggregate(tr *tableRegion, lo, hi []byte, minTS, maxTS, windowMS int64, funcs lsm.AggFuncs, sp telemetry.TSpan) (lsm.AggResult, error) {
+	var req frameWriter
+	var resp frameReader
+	req.reset(opAggregate)
+	req.trace(sp)
+	req.str(tr.info.Name)
+	req.optBytes(lo)
+	req.optBytes(hi)
+	req.uvarint(uint64(minTS))
+	req.uvarint(uint64(maxTS))
+	req.uvarint(uint64(windowMS))
+	req.uvarint(uint64(funcs))
+	if err := t.call(tr.primary, &req, &resp, sp); err != nil {
+		return lsm.AggResult{}, err
+	}
+	var res lsm.AggResult
+	folded, err := resp.uvarint()
+	if err != nil {
+		return lsm.AggResult{}, err
+	}
+	res.RowsFolded = int64(folded)
+	n, err := resp.uvarint()
+	if err != nil {
+		return lsm.AggResult{}, err
+	}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096 // bound the pre-allocation; a bogus count fails below
+	}
+	res.Windows = make([]lsm.WindowAgg, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		var w lsm.WindowAgg
+		series, err := resp.bytes()
+		if err != nil {
+			return lsm.AggResult{}, err
+		}
+		w.Series = append([]byte(nil), series...)
+		ws, err := resp.uvarint()
+		if err != nil {
+			return lsm.AggResult{}, err
+		}
+		w.WindowStart = int64(ws)
+		count, err := resp.uvarint()
+		if err != nil {
+			return lsm.AggResult{}, err
+		}
+		w.Count = int64(count)
+		for _, dst := range []*float64{&w.Min, &w.Max, &w.Sum} {
+			bits, err := resp.uvarint()
+			if err != nil {
+				return lsm.AggResult{}, err
+			}
+			*dst = math.Float64frombits(bits)
+		}
+		res.Windows = append(res.Windows, w)
+	}
+	return res, nil
 }
 
 func (t *tcpTransport) closeScanner(tr *tableRegion, id uint64, sp telemetry.TSpan) error {

@@ -39,6 +39,10 @@ const (
 	opScanOpen  byte = 3
 	opScanNext  byte = 4
 	opScanClose byte = 5
+	// opAggregate is the aggregation-pushdown RPC: the request carries the
+	// key range, time range, window width and function mask; the response
+	// carries per-(series, window) partial aggregates instead of rows.
+	opAggregate byte = 6
 )
 
 // response statuses. statusOverloaded is a load-shed: the typed retryable

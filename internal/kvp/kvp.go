@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // PairSize is the total size in bytes of one encoded sensor reading. The
@@ -146,6 +147,44 @@ func TimestampOf(b []byte) (int64, bool) {
 		return 0, false
 	}
 	return int64(binary.BigEndian.Uint64(rest[j+1:]) ^ (1 << 63)), true
+}
+
+// SeriesOf returns the series prefix of an encoded key — the bytes through
+// the second separator, i.e. substation|0x00|sensor|0x00 — without decoding
+// the string fields. All readings of one sensor share a series prefix, and
+// because the key encoding is order-preserving, a key-ordered scan yields
+// each series as one contiguous run. The returned slice aliases b. The
+// second return is false when b does not have the kvp key shape.
+func SeriesOf(b []byte) ([]byte, bool) {
+	i := bytes.IndexByte(b, sep)
+	if i < 0 {
+		return nil, false
+	}
+	rest := b[i+1:]
+	j := bytes.IndexByte(rest, sep)
+	if j < 0 || len(rest[j+1:]) != 8 {
+		return nil, false
+	}
+	return b[:i+1+j+1], true
+}
+
+// ReadingOf extracts the numeric sensor reading from an encoded value
+// without materialising the unit or padding. It is the decode the
+// aggregation fold runs per row, so it avoids the full DecodeValue
+// allocation.
+func ReadingOf(b []byte) (float64, error) {
+	if len(b) < valueHeaderLen {
+		return 0, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadValue, len(b), valueHeaderLen)
+	}
+	rl := int(b[0])
+	if valueHeaderLen+rl > len(b) {
+		return 0, fmt.Errorf("%w: declared reading length %d exceeds %d bytes", ErrBadValue, rl, len(b))
+	}
+	f, err := strconv.ParseFloat(string(b[valueHeaderLen:valueHeaderLen+rl]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading is not numeric: %v", ErrBadValue, err)
+	}
+	return f, nil
 }
 
 // SensorPrefix returns the encoded prefix shared by all readings of one

@@ -74,6 +74,18 @@ type Options struct {
 	// prune files from time-range scans. Keys for which it reports false are
 	// unwindowed. Defaults to kvp.TimestampOf, the benchmark key layout.
 	KeyTimestamp func(key []byte) (int64, bool)
+	// KeySeries extracts the series identifier from a key — the prefix that
+	// groups rows of one logical time series (one sensor). The aggregation
+	// fold reports partial aggregates per (series, window). The returned
+	// slice may alias the key; the fold copies it when it must retain it.
+	// Keys for which it reports false belong to no series and are skipped by
+	// aggregation. Must be a key prefix so a key-ordered scan yields each
+	// series contiguously. Defaults to kvp.SeriesOf.
+	KeySeries func(key []byte) ([]byte, bool)
+	// ValueReading extracts the numeric reading from a stored value for
+	// min/max/sum/avg aggregation. Count-only aggregations never call it.
+	// Defaults to kvp.ReadingOf.
+	ValueReading func(value []byte) (float64, error)
 	// BlockSize is the SSTable data-block size. Defaults to 4 KiB.
 	BlockSize int
 	// BloomBitsPerKey sizes table Bloom filters. 0 selects the default.
@@ -134,6 +146,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.KeyTimestamp == nil {
 		o.KeyTimestamp = kvp.TimestampOf
+	}
+	if o.KeySeries == nil {
+		o.KeySeries = kvp.SeriesOf
+	}
+	if o.ValueReading == nil {
+		o.ValueReading = kvp.ReadingOf
 	}
 	return o, nil
 }

@@ -202,6 +202,21 @@ func (r *Region) ScanTime(lo, hi []byte, minTS, maxTS int64, fn func(key, value 
 	return r.store.ScanTime(lo, hi, minTS, maxTS, fn)
 }
 
+// AggregateTime folds live entries in [lo, hi) clipped to the region
+// bounds, restricted to key timestamps in [minTS, maxTS), into per-series
+// per-window partial aggregates evaluated inside the store — the region
+// half of aggregation pushdown. The fold runs over a snapshot-pinned
+// iterator with file-level key/time/Bloom pruning; see lsm.AggregateTime
+// for windowing semantics.
+func (r *Region) AggregateTime(lo, hi []byte, minTS, maxTS, windowMS int64, funcs lsm.AggFuncs) (lsm.AggResult, error) {
+	lo, hi = r.clampRange(lo, hi)
+	res, err := r.store.AggregateTime(lo, hi, minTS, maxTS, windowMS, funcs)
+	if err != nil {
+		return lsm.AggResult{}, fmt.Errorf("region %s: %w", r.info.Name, err)
+	}
+	return res, nil
+}
+
 // Health reports the backing store's liveness (stall, flush pressure).
 func (r *Region) Health() lsm.Health { return r.store.Health() }
 

@@ -55,6 +55,35 @@ func (it scannerIter) Next() (ycsb.KV, bool, error) {
 
 func (it scannerIter) Close() error { return it.sc.Close() }
 
+// Aggregate implements ycsb.Aggregator over the cluster's aggregation-
+// pushdown RPC: each overlapping region folds its rows server-side and only
+// per-window partials cross the client boundary, merged exactly by the
+// hbase client ((sum, count) for avg, never mean-of-means).
+func (d clientDB) Aggregate(lo, hi []byte, minTS, maxTS, windowMS int64, funcs ycsb.AggFuncs) ([]ycsb.AggWindow, int64, error) {
+	res, err := d.c.Aggregate(lo, hi, minTS, maxTS, windowMS, lsm.AggFuncs(funcs))
+	if err != nil {
+		return nil, 0, err
+	}
+	return aggWindows(res.Windows), res.RowsFolded, nil
+}
+
+// aggWindows converts engine partials to the framework's binding-neutral
+// form.
+func aggWindows(ws []lsm.WindowAgg) []ycsb.AggWindow {
+	out := make([]ycsb.AggWindow, len(ws))
+	for i, w := range ws {
+		out[i] = ycsb.AggWindow{
+			Series:      w.Series,
+			WindowStart: w.WindowStart,
+			Count:       w.Count,
+			Min:         w.Min,
+			Max:         w.Max,
+			Sum:         w.Sum,
+		}
+	}
+	return out
+}
+
 // Close implements ycsb.DB, flushing buffered writes.
 func (d clientDB) Close() error { return d.c.Close() }
 
@@ -158,6 +187,17 @@ func (l *lsmIter) Next() (ycsb.KV, bool, error) {
 }
 
 func (l *lsmIter) Close() error { return l.it.Close() }
+
+// Aggregate implements ycsb.Aggregator directly over the engine's windowed
+// fold — the embedded pushdown path (no RPC, but the same snapshot-pinned,
+// file-pruned single-pass reduction).
+func (d storeDB) Aggregate(lo, hi []byte, minTS, maxTS, windowMS int64, funcs ycsb.AggFuncs) ([]ycsb.AggWindow, int64, error) {
+	res, err := d.s.AggregateTime(lo, hi, minTS, maxTS, windowMS, lsm.AggFuncs(funcs))
+	if err != nil {
+		return nil, 0, err
+	}
+	return aggWindows(res.Windows), res.RowsFolded, nil
+}
 
 // Close implements ycsb.DB; the store is shared, so this is a no-op.
 func (d storeDB) Close() error { return nil }

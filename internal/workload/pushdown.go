@@ -1,0 +1,185 @@
+// Aggregation-pushdown query paths: the dashboard templates re-expressed
+// over the binding's server-side windowed aggregation (ycsb.Aggregator),
+// plus the analytic templates (downsampling, group-by-window) that the
+// pushdown primitive makes affordable. Every entry point falls back to the
+// streamed scan-and-fold path when the binding lacks the capability, so the
+// same workload runs against any DB.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tpcxiot/internal/kvp"
+	"tpcxiot/internal/ycsb"
+)
+
+// aggFuncsFor maps a dashboard template to the functions its pushed-down
+// form needs. Count-only templates ride the server's key-iteration fast
+// path (no value decode); the others carry count too, both for the Rows
+// statistic and because avg must merge as (sum, count).
+func aggFuncsFor(kind QueryKind) ycsb.AggFuncs {
+	switch kind {
+	case QueryMax:
+		return ycsb.AggCount | ycsb.AggMax
+	case QueryMin:
+		return ycsb.AggCount | ycsb.AggMin
+	case QueryAvg:
+		return ycsb.AggCount | ycsb.AggSum | ycsb.AggAvg
+	default:
+		return ycsb.AggCount
+	}
+}
+
+// windowAggregate converts the partials of one single-window interval query
+// (one sensor, windowMS = 0 → at most one window) to the dashboard
+// Aggregate. Only the fields funcs covers are populated; Value() reads
+// exactly those.
+func windowAggregate(windows []ycsb.AggWindow, funcs ycsb.AggFuncs) Aggregate {
+	var agg Aggregate
+	for _, w := range windows {
+		agg.Rows += int(w.Count)
+		if funcs&ycsb.AggMax != 0 && (agg.Rows == int(w.Count) || w.Max > agg.Max) {
+			agg.Max = w.Max
+		}
+		if funcs&ycsb.AggMin != 0 && (agg.Rows == int(w.Count) || w.Min < agg.Min) {
+			agg.Min = w.Min
+		}
+		if funcs&(ycsb.AggSum|ycsb.AggAvg) != 0 {
+			agg.Avg += w.Sum // settled to the mean below
+		}
+	}
+	if agg.Rows > 0 && funcs&(ycsb.AggSum|ycsb.AggAvg) != 0 {
+		agg.Avg /= float64(agg.Rows) // mean from (sum, count), never of means
+	}
+	return agg
+}
+
+// pushAggregate runs one 5-second-interval aggregation for a single sensor
+// through the binding's server-side path.
+func pushAggregate(agg ycsb.Aggregator, substation, sensor string, minTS, maxTS int64, funcs ycsb.AggFuncs) (Aggregate, error) {
+	lo, hi := kvp.RangeFor(substation, sensor, minTS, maxTS)
+	windows, _, err := agg.Aggregate(lo, hi, minTS, maxTS, 0, funcs)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return windowAggregate(windows, funcs), nil
+}
+
+// RunQueryPushdown executes one dashboard query template with the
+// aggregation pushed into the storage tier: the two 5-second intervals are
+// reduced to partial aggregates inside the region servers and only a
+// handful of floats cross the client boundary, instead of every 1 KiB row.
+// The result carries the statistics the template needs (plus Rows); fields
+// other templates would read are zero. When db does not implement
+// ycsb.Aggregator the call transparently degrades to the streamed RunQuery.
+func RunQueryPushdown(db ycsb.DB, kind QueryKind, substation, sensor string,
+	now time.Time, histStart time.Time) (QueryResult, error) {
+
+	agg, ok := db.(ycsb.Aggregator)
+	if !ok {
+		return RunQuery(db, kind, substation, sensor, now, histStart)
+	}
+	res := QueryResult{Kind: kind, Substation: substation, Sensor: sensor}
+	funcs := aggFuncsFor(kind)
+
+	nowMS := now.UnixMilli()
+	var err error
+	res.Recent, err = pushAggregate(agg, substation, sensor, nowMS-RecentWindow.Milliseconds(), nowMS, funcs)
+	if err != nil {
+		return res, fmt.Errorf("workload: recent aggregate: %w", err)
+	}
+	hs := histStart.UnixMilli()
+	res.Historical, err = pushAggregate(agg, substation, sensor, hs, hs+RecentWindow.Milliseconds(), funcs)
+	if err != nil {
+		return res, fmt.Errorf("workload: historical aggregate: %w", err)
+	}
+	return res, nil
+}
+
+// RunWindowQuery executes one multi-window aggregation for a single sensor:
+// per-window partials over [minTS, maxTS) with the given window width —
+// the shape of the downsampling and group-by-window analytic templates.
+// With pushdown set and an aggregating binding, the fold happens inside the
+// storage tier and rowsFolded reports how many rows were reduced there;
+// otherwise the rows stream to the client and fold locally (rowsFolded
+// counts the same rows, but every one crossed the wire). Empty windows are
+// omitted in both paths.
+func RunWindowQuery(db ycsb.DB, substation, sensor string,
+	minTS, maxTS, windowMS int64, funcs ycsb.AggFuncs, pushdown bool) (windows []ycsb.AggWindow, rowsFolded int64, err error) {
+
+	lo, hi := kvp.RangeFor(substation, sensor, minTS, maxTS)
+	if agg, ok := db.(ycsb.Aggregator); ok && pushdown {
+		return agg.Aggregate(lo, hi, minTS, maxTS, windowMS, funcs)
+	}
+	return streamWindows(db, lo, hi, minTS, maxTS, windowMS, funcs)
+}
+
+// streamWindows is the client-side baseline for multi-window aggregation:
+// a streamed scan folded into windows as rows arrive. It mirrors the
+// engine-side fold exactly (same windowing, same merge identities), which
+// makes it both the fallback for non-aggregating bindings and the oracle
+// the parity property tests compare the pushed-down path against.
+func streamWindows(db ycsb.DB, lo, hi []byte, minTS, maxTS, windowMS int64, funcs ycsb.AggFuncs) ([]ycsb.AggWindow, int64, error) {
+	if windowMS <= 0 {
+		windowMS = maxTS - minTS
+		if windowMS <= 0 {
+			windowMS = 1
+		}
+	}
+	it, err := db.ScanIter(lo, hi, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer it.Close()
+
+	needValue := funcs&(ycsb.AggMin|ycsb.AggMax|ycsb.AggSum|ycsb.AggAvg) != 0
+	var out []ycsb.AggWindow
+	var folded int64
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		series, ok := kvp.SeriesOf(row.Key)
+		if !ok {
+			continue
+		}
+		ts, ok := kvp.TimestampOf(row.Key)
+		if !ok || ts < minTS || ts >= maxTS {
+			continue
+		}
+		wstart := minTS + (ts-minTS)/windowMS*windowMS
+		n := len(out)
+		if n == 0 || out[n-1].WindowStart != wstart || string(out[n-1].Series) != string(series) {
+			out = append(out, ycsb.AggWindow{
+				Series:      append([]byte(nil), series...),
+				WindowStart: wstart,
+				Min:         math.Inf(1),
+				Max:         math.Inf(-1),
+			})
+			n++
+		}
+		w := &out[n-1]
+		w.Count++
+		folded++
+		if needValue {
+			v, err := kvp.ReadingOf(row.Value)
+			if err != nil {
+				return nil, 0, fmt.Errorf("workload: bad stored value: %w", err)
+			}
+			if v < w.Min {
+				w.Min = v
+			}
+			if v > w.Max {
+				w.Max = v
+			}
+			w.Sum += v
+		}
+	}
+	return out, folded, it.Close()
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -84,16 +85,40 @@ func KVPShare(k int64, p int, i int) int64 {
 	return share
 }
 
-// QueryKind names the four dashboard query templates of Section III-D.
+// QueryKind names the query templates: the four dashboard templates of
+// Section III-D plus the two analytic templates (downsampling and
+// group-by-window counting, the first-class IoT query shapes of
+// IoTDB-Benchmark) that ride the aggregation-pushdown path.
 type QueryKind int
 
-// The four templates.
+// The templates. The first dashboardKinds are the paper's rotation; the
+// analytic templates join the rotation only when InstanceConfig.Analytics
+// is set.
 const (
 	QueryMax QueryKind = iota
 	QueryMin
 	QueryAvg
 	QueryCount
+	QueryDownsample  // per-second averages over the trailing minute
+	QueryWindowCount // per-5s reading counts over the trailing 5 minutes
 	queryKinds
+)
+
+// dashboardKinds is the size of the default template rotation (the paper's
+// four dashboard templates).
+const dashboardKinds = QueryDownsample
+
+// Analytic template windowing.
+const (
+	// DownsampleSpan and DownsampleWindow shape the downsampling template:
+	// per-DownsampleWindow averages over the trailing DownsampleSpan.
+	DownsampleSpan   = 60 * time.Second
+	DownsampleWindow = 1 * time.Second
+	// WindowCountSpan and WindowCountWindow shape the group-by-window
+	// template: per-WindowCountWindow reading counts over the trailing
+	// WindowCountSpan.
+	WindowCountSpan   = 300 * time.Second
+	WindowCountWindow = 5 * time.Second
 )
 
 // String names the template.
@@ -107,6 +132,10 @@ func (q QueryKind) String() string {
 		return "average-reading"
 	case QueryCount:
 		return "reading-count"
+	case QueryDownsample:
+		return "downsample"
+	case QueryWindowCount:
+		return "window-count"
 	default:
 		return fmt.Sprintf("QueryKind(%d)", int(q))
 	}
@@ -223,6 +252,57 @@ func RunQuery(db ycsb.DB, kind QueryKind, substation, sensor string,
 	return res, nil
 }
 
+// Sequencer allocates collision-free per-sensor timestamps. Readings are
+// keyed by (substation, sensor, unix-ms timestamp); at laptop-scale ingest
+// a thread outruns the wall clock and bumps timestamps ahead of it, and a
+// later workload execution starting from the wall clock again would reuse
+// the bumped range — silently overwriting rows and undercounting the
+// stored-rows check. A Sequencer shared across executions (the driver wires
+// one through warmup and measured runs) remembers each sensor's last issued
+// timestamp, so every generated key is unique for the process lifetime:
+// next = max(wallMS, last+1).
+//
+// Threads own disjoint sensors, so the per-sensor counters are effectively
+// uncontended; the CAS loop exists for correctness when a sensor is shared.
+type Sequencer struct {
+	mu   sync.Mutex
+	last map[string]*atomic.Int64
+}
+
+// NewSequencer returns an empty timestamp sequencer.
+func NewSequencer() *Sequencer {
+	return &Sequencer{last: make(map[string]*atomic.Int64)}
+}
+
+// counter returns the sensor's last-issued-timestamp cell, creating it on
+// first use. Threads resolve their sensors' cells once at NewThread.
+func (q *Sequencer) counter(substation, sensor string) *atomic.Int64 {
+	key := substation + "\x00" + sensor
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c, ok := q.last[key]
+	if !ok {
+		c = new(atomic.Int64)
+		q.last[key] = c
+	}
+	return c
+}
+
+// next issues the sensor's next timestamp: the wall clock when it has moved
+// past the last issued value, otherwise last+1.
+func nextTimestamp(c *atomic.Int64, wallMS int64) int64 {
+	for {
+		last := c.Load()
+		ts := wallMS
+		if ts <= last {
+			ts = last + 1
+		}
+		if c.CompareAndSwap(last, ts) {
+			return ts
+		}
+	}
+}
+
 // InstanceStats aggregates what one driver instance did, beyond the latency
 // measurement the ycsb layer records.
 type InstanceStats struct {
@@ -240,6 +320,16 @@ type InstanceStats struct {
 	// the client, so the readings are deferred to a later flush — counted
 	// here, not lost.
 	Shed int64
+	// AnalyticQueries counts executions of the analytic templates
+	// (downsample, window-count); AnalyticWindows is the window partials
+	// they returned. Tracked separately from Queries so the dashboard
+	// validity metrics (AvgRowsPerQuery) keep their Figure 12 meaning.
+	AnalyticQueries int64
+	// AnalyticWindows counts window partials returned by analytic queries.
+	AnalyticWindows int64
+	// PushdownRows counts rows reduced server-side by pushed-down queries
+	// (rows that never crossed the client boundary as 1 KiB pairs).
+	PushdownRows int64
 }
 
 // AvgRowsPerQuery is Figure 12's y-axis: mean readings aggregated per
@@ -270,6 +360,19 @@ type InstanceConfig struct {
 	// DisableQueries turns off query injection (pure-ingest experiments
 	// such as Figure 8's generation-speed measurement).
 	DisableQueries bool
+	// Pushdown routes dashboard queries through the binding's server-side
+	// aggregation (ycsb.Aggregator) instead of streaming raw rows and
+	// folding client-side. Bindings without the capability silently fall
+	// back to the streamed path, so the flag is safe on any DB.
+	Pushdown bool
+	// Analytics adds the downsampling and group-by-window templates to the
+	// query rotation. They honour Pushdown the same way the dashboard
+	// templates do.
+	Analytics bool
+	// Sequencer allocates per-sensor timestamps. Share one across workload
+	// executions (the driver does) so keys never collide between runs; nil
+	// gives the instance a private one.
+	Sequencer *Sequencer
 	// Registry, when non-nil, times each dashboard query template in the
 	// histograms "query.max-reading", "query.min-reading",
 	// "query.average-reading" and "query.reading-count".
@@ -289,6 +392,9 @@ type Instance struct {
 	aggRows     atomic.Int64
 	histRows    atomic.Int64
 	shed        atomic.Int64
+	analyticQ   atomic.Int64
+	analyticW   atomic.Int64
+	pushedRows  atomic.Int64
 }
 
 // NewInstance validates the configuration and builds the driver instance.
@@ -309,6 +415,9 @@ func NewInstance(cfg InstanceConfig) (*Instance, error) {
 	if clock == nil {
 		clock = time.Now
 	}
+	if cfg.Sequencer == nil {
+		cfg.Sequencer = NewSequencer()
+	}
 	in := &Instance{cfg: cfg, catalog: sensors.Catalogue(), clock: clock}
 	for q := QueryKind(0); q < queryKinds; q++ {
 		in.queryTimers[q] = cfg.Registry.Timer("query." + q.String())
@@ -320,11 +429,14 @@ func NewInstance(cfg InstanceConfig) (*Instance, error) {
 // Stats snapshots the instance's progress counters.
 func (in *Instance) Stats() InstanceStats {
 	return InstanceStats{
-		Inserted:       in.inserted.Load(),
-		Queries:        in.queries.Load(),
-		RowsAggregated: in.aggRows.Load(),
-		HistoricalRows: in.histRows.Load(),
-		Shed:           in.shed.Load(),
+		Inserted:        in.inserted.Load(),
+		Queries:         in.queries.Load(),
+		RowsAggregated:  in.aggRows.Load(),
+		HistoricalRows:  in.histRows.Load(),
+		Shed:            in.shed.Load(),
+		AnalyticQueries: in.analyticQ.Load(),
+		AnalyticWindows: in.analyticW.Load(),
+		PushdownRows:    in.pushedRows.Load(),
 	}
 }
 
@@ -352,10 +464,11 @@ func (in *Instance) NewThread(id, of int) ycsb.ThreadWorkload {
 		quota:   quota,
 		sensors: mine,
 		readers: make([]*sensors.Reader, len(mine)),
-		lastTS:  make([]int64, len(mine)),
+		seq:     make([]*atomic.Int64, len(mine)),
 	}
 	for i, s := range mine {
 		t.readers[i] = sensors.NewReader(s, rng.Uint64())
+		t.seq[i] = in.cfg.Sequencer.counter(in.cfg.Substation, s.Key)
 	}
 	return t
 }
@@ -367,8 +480,8 @@ type instanceThread struct {
 	done    int64
 	sensors []sensors.Sensor
 	readers []*sensors.Reader
-	lastTS  []int64 // per-sensor last used timestamp, for key uniqueness
-	cursor  int     // round-robin sensor index
+	seq     []*atomic.Int64 // per-sensor timestamp cells (see Sequencer)
+	cursor  int             // round-robin sensor index
 
 	sinceQuery int64
 	keyBuf     []byte
@@ -401,11 +514,11 @@ func (t *instanceThread) insert(db ycsb.DB) error {
 	t.cursor = (t.cursor + 1) % len(t.sensors)
 	s := t.sensors[i]
 
-	ts := t.inst.clock().UnixMilli()
-	if ts <= t.lastTS[i] {
-		ts = t.lastTS[i] + 1 // keep per-sensor keys unique at high rates
-	}
-	t.lastTS[i] = ts
+	// The sequencer keeps per-sensor keys unique at high generation rates
+	// AND across workload executions: a previous run that outran the wall
+	// clock leaves its high-water mark behind, so this run continues past it
+	// instead of overwriting.
+	ts := nextTimestamp(t.seq[i], t.inst.clock().UnixMilli())
 
 	key := kvp.Key{Substation: t.inst.cfg.Substation, Sensor: s.Key, Timestamp: ts}
 	reading := t.readers[i].NextString()
@@ -442,8 +555,17 @@ func (t *instanceThread) insert(db ycsb.DB) error {
 
 func (t *instanceThread) runQuery(db ycsb.DB) error {
 	s := t.sensors[t.rng.Intn(len(t.sensors))]
-	kind := QueryKind(t.rng.Intn(int(queryKinds)))
+	rotation := int(dashboardKinds)
+	if t.inst.cfg.Analytics {
+		rotation = int(queryKinds)
+	}
+	kind := QueryKind(t.rng.Intn(rotation))
 	now := t.inst.clock()
+
+	if kind >= dashboardKinds {
+		return t.runAnalyticQuery(db, kind, s.Key, now)
+	}
+
 	// Random 5 s window inside the previous 1 800 s (excluding the recent
 	// window itself).
 	span := (HistoryWindow - RecentWindow).Milliseconds()
@@ -451,13 +573,48 @@ func (t *instanceThread) runQuery(db ycsb.DB) error {
 	histStart := now.Add(-time.Duration(offset) * time.Millisecond)
 
 	sp := t.inst.queryTimers[kind].Start()
-	res, err := RunQuery(db, kind, t.inst.cfg.Substation, s.Key, now, histStart)
+	var res QueryResult
+	var err error
+	if t.inst.cfg.Pushdown {
+		res, err = RunQueryPushdown(db, kind, t.inst.cfg.Substation, s.Key, now, histStart)
+	} else {
+		res, err = RunQuery(db, kind, t.inst.cfg.Substation, s.Key, now, histStart)
+	}
 	sp.End()
 	if err != nil {
 		return err
 	}
+	if t.inst.cfg.Pushdown {
+		t.inst.pushedRows.Add(int64(res.Recent.Rows + res.Historical.Rows))
+	}
 	t.inst.queries.Add(1)
 	t.inst.aggRows.Add(int64(res.Recent.Rows))
 	t.inst.histRows.Add(int64(res.Historical.Rows))
+	return nil
+}
+
+// runAnalyticQuery executes one analytic template (downsample or
+// window-count) over the sensor's trailing span, pushed down when
+// configured and the binding supports it.
+func (t *instanceThread) runAnalyticQuery(db ycsb.DB, kind QueryKind, sensor string, now time.Time) error {
+	span, window := DownsampleSpan, DownsampleWindow
+	funcs := ycsb.AggCount | ycsb.AggSum | ycsb.AggAvg
+	if kind == QueryWindowCount {
+		span, window = WindowCountSpan, WindowCountWindow
+		funcs = ycsb.AggCount
+	}
+	nowMS := now.UnixMilli()
+	sp := t.inst.queryTimers[kind].Start()
+	windows, folded, err := RunWindowQuery(db, t.inst.cfg.Substation, sensor,
+		nowMS-span.Milliseconds(), nowMS, window.Milliseconds(), funcs, t.inst.cfg.Pushdown)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	t.inst.analyticQ.Add(1)
+	t.inst.analyticW.Add(int64(len(windows)))
+	if t.inst.cfg.Pushdown {
+		t.inst.pushedRows.Add(folded)
+	}
 	return nil
 }
