@@ -23,6 +23,8 @@ import (
 	"syscall"
 	"time"
 
+	"tpcxiot/internal/audit"
+	"tpcxiot/internal/benchfmt"
 	"tpcxiot/internal/driver"
 	"tpcxiot/internal/hbase"
 	"tpcxiot/internal/lsm"
@@ -54,6 +56,9 @@ func main() {
 		pushdown    = flag.Bool("pushdown", false, "evaluate dashboard query aggregation inside the region servers (server-side aggregation pushdown) instead of streaming raw rows to the client")
 		analytics   = flag.Bool("analytics", false, "add downsampling and group-by-window analytic query templates to the query rotation (reported separately from the dashboard validity statistics)")
 		status      = flag.Duration("status", 0, "log a status line for driver 0 on this interval (e.g. 2s)")
+		targetRate  = flag.Float64("target-rate", 0, "pace the run at this system-wide intended rate in ops/s (split across drivers and threads into a fixed intended-start schedule); paced runs additionally record coordinated-omission-corrected intended latency (0 = open loop)")
+		auditTol    = flag.Float64("audit-tolerance", 0, "sustained-performance band for the run-validity auditor: every complete telemetry interval must stay within this fraction of the mean interval rate (0 = auditor default 0.20)")
+		auditJSON   = flag.String("audit-json", "", "write the audit verdict as a benchfmt JSON artifact to this file (default results/audit-<pid>.json when -telemetry is on)")
 
 		telemetryOn  = flag.Bool("telemetry", false, "collect engine counters, op-path spans and a per-interval time series")
 		telemetryInt = flag.Duration("telemetry-interval", 10*time.Second, "telemetry sampling period")
@@ -150,6 +155,19 @@ func main() {
 	}
 	defer cluster.Close()
 
+	if reg != nil && *auditJSON == "" {
+		*auditJSON = filepath.Join("results", fmt.Sprintf("audit-%d.json", os.Getpid()))
+	}
+
+	// Live audit state: the run-validity auditor, the verdicts completed
+	// iterations produced (via OnVerdict), and the in-flight telemetry
+	// ticker — shared by the /audit endpoint and the SIGINT flush.
+	auditor := audit.NewAuditor(audit.Config{Tolerance: *auditTol, MinSeconds: *minSeconds})
+	var auditMu sync.Mutex
+	var verdicts []audit.Verdict
+	var tickerMu sync.Mutex
+	var liveTicker *telemetry.Ticker
+
 	// The observability server mounts after the cluster exists so /storage
 	// and /healthz can introspect the live stores, not a placeholder.
 	if *telemetryAdr != "" {
@@ -160,12 +178,29 @@ func main() {
 			h := cluster.Health()
 			return h, h.OK
 		})
+		// /audit serves the completed iterations' verdicts plus, while an
+		// execution is in flight, a live partial evaluation of its interval
+		// series so the run can be audited before it finishes.
+		telemetry.MountJSON(mux, "/audit", func() any {
+			var snap auditSnapshot
+			auditMu.Lock()
+			snap.Verdicts = append([]audit.Verdict(nil), verdicts...)
+			auditMu.Unlock()
+			tickerMu.Lock()
+			t := liveTicker
+			tickerMu.Unlock()
+			if t != nil {
+				live := auditor.EvaluatePartial(t.Snapshot(), *targetRate)
+				snap.Live = &live
+			}
+			return snap
+		})
 		srv, addr, err := telemetry.ServeMux(*telemetryAdr, mux)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("telemetry: /metrics, /storage, /healthz, /trace and /debug/pprof on http://%s", addr)
+		log.Printf("telemetry: /metrics, /storage, /healthz, /audit, /trace and /debug/pprof on http://%s", addr)
 	}
 
 	sut, err := driver.NewClusterSUT(cluster, *drivers, *writeBuffer)
@@ -179,10 +214,9 @@ func main() {
 	}
 
 	// On SIGINT/SIGTERM, flush what telemetry exists — the in-flight
-	// interval series and the trace buffer — before exiting, so an
-	// interrupted run still leaves its observability artifacts behind.
-	var tickerMu sync.Mutex
-	var liveTicker *telemetry.Ticker
+	// interval series, the trace buffer, and the audit verdict (completed
+	// iterations plus a partial evaluation of the interrupted execution) —
+	// before exiting, so an interrupted run still leaves an auditable trail.
 	if reg != nil {
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -192,14 +226,26 @@ func main() {
 			tickerMu.Lock()
 			t := liveTicker
 			tickerMu.Unlock()
+			var partial *audit.Verdict
 			if t != nil {
-				if s := t.Snapshot(); len(s.Points) > 0 {
+				s := t.Snapshot()
+				if len(s.Points) > 0 {
 					if err := writeOneSeriesCSV(*telemetryCSV, s); err != nil {
 						log.Printf("telemetry: csv export: %v", err)
 					} else {
 						log.Printf("telemetry: partial series written to %s", *telemetryCSV)
 					}
 				}
+				v := auditor.EvaluatePartial(s, *targetRate)
+				partial = &v
+			}
+			auditMu.Lock()
+			done := append([]audit.Verdict(nil), verdicts...)
+			auditMu.Unlock()
+			if err := writeAuditJSON(*auditJSON, done, partial); err != nil {
+				log.Printf("audit: artifact export: %v", err)
+			} else if *auditJSON != "" {
+				log.Printf("audit: partial verdict written to %s", *auditJSON)
 			}
 			flushTraceJSON(*traceJSON, tracer)
 			os.Exit(130)
@@ -217,6 +263,16 @@ func main() {
 		StatusInterval:     *status,
 		Pushdown:           *pushdown,
 		Analytics:          *analytics,
+		TargetRate:         *targetRate,
+		AuditTolerance:     *auditTol,
+		OnVerdict: func(it int, v audit.Verdict) {
+			auditMu.Lock()
+			verdicts = append(verdicts, v)
+			auditMu.Unlock()
+			if !v.Valid {
+				log.Printf("audit: iteration %d verdict INVALID: %s", it+1, v.Check().Detail)
+			}
+		},
 		Telemetry:          reg,
 		TelemetryInterval:  *telemetryInt,
 		HealthInterval:     *healthInt,
@@ -242,10 +298,74 @@ func main() {
 			log.Printf("telemetry: csv export: %v", err)
 		}
 	}
+	auditMu.Lock()
+	done := append([]audit.Verdict(nil), verdicts...)
+	auditMu.Unlock()
+	if err := writeAuditJSON(*auditJSON, done, nil); err != nil {
+		log.Printf("audit: artifact export: %v", err)
+	} else if *auditJSON != "" && len(done) > 0 {
+		log.Printf("audit: verdict artifact written to %s", *auditJSON)
+	}
 	flushTraceJSON(*traceJSON, tracer)
 	if !res.Valid() {
 		os.Exit(2)
 	}
+}
+
+// auditSnapshot is the /audit endpoint's response: the verdicts of every
+// completed iteration plus, while an execution is in flight, a live partial
+// evaluation of its interval series.
+type auditSnapshot struct {
+	Verdicts []audit.Verdict `json:"verdicts"`
+	Live     *audit.Verdict  `json:"live,omitempty"`
+}
+
+// writeAuditJSON exports the run's audit verdicts as one benchfmt document:
+// one result per (iteration, rule), with an interrupted partial verdict —
+// when the run was cut short — keyed iteration=interrupted. No-op when path
+// is empty or there is nothing to write.
+func writeAuditJSON(path string, verdicts []audit.Verdict, partial *audit.Verdict) error {
+	if path == "" || (len(verdicts) == 0 && partial == nil) {
+		return nil
+	}
+	combined := &benchfmt.File{
+		Benchmark:   "RunValidityAudit",
+		Description: "live run-validity audit verdicts, one result per (iteration, rule)",
+	}
+	valid := len(verdicts) > 0
+	annotate := func(v audit.Verdict, iteration string) {
+		vf := v.Benchfmt()
+		for _, r := range vf.Results {
+			r.Variant["iteration"] = iteration
+			combined.Results = append(combined.Results, r)
+		}
+	}
+	for i, v := range verdicts {
+		annotate(v, fmt.Sprint(i+1))
+		if !v.Valid {
+			valid = false
+		}
+	}
+	if partial != nil {
+		annotate(*partial, "interrupted")
+	}
+	combined.Summary = map[string]any{
+		"valid":       valid,
+		"iterations":  len(verdicts),
+		"interrupted": partial != nil,
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := combined.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // flushTraceJSON exports the tracer's completed-trace buffer as Chrome

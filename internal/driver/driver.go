@@ -129,6 +129,28 @@ type Config struct {
 	// the per-thread query rotation. They are reported separately and do not
 	// perturb the Figure-12 dashboard validity statistics.
 	Analytics bool
+	// TargetRate, when positive, paces the run: the system-wide intended
+	// operation rate in ops/s, split evenly across driver instances (and
+	// within each instance across its threads into a fixed intended-start
+	// schedule). Paced runs record a second, coordinated-omission-corrected
+	// latency distribution per operation — measured from each op's scheduled
+	// start instead of its actual start — so a backlog behind a stall shows
+	// up as intended latency even while per-op service time stays flat.
+	// 0 leaves the run open-loop (every thread issues as fast as the SUT
+	// acknowledges).
+	TargetRate float64
+	// AuditTolerance is the live auditor's sustained-performance band: every
+	// complete telemetry interval's throughput must stay within this
+	// fraction of the measured run's mean interval rate. 0 selects the
+	// auditor default (0.20).
+	AuditTolerance float64
+	// AuditShedBudget is the auditor's allowed shed-operation fraction.
+	// 0 selects the auditor default (0.05).
+	AuditShedBudget float64
+	// OnVerdict, when set, receives each iteration's audit verdict right
+	// after evaluation (iteration index first) — the hook the CLI uses to
+	// refresh the /audit endpoint and stream the verdict artifact.
+	OnVerdict func(iteration int, v audit.Verdict)
 
 	// sequencer issues per-sensor monotonic timestamps shared by every
 	// workload execution of this run, so a measured run never re-mints a
@@ -191,6 +213,10 @@ type DriverOutcome struct {
 	// InsertLatency and QueryLatency are the instance's per-operation
 	// latency distributions in nanoseconds.
 	InsertLatency, QueryLatency histogram.Snapshot
+	// IntendedInsert and IntendedQuery are the coordinated-omission-
+	// corrected distributions (latency from each op's scheduled start).
+	// Empty for open-loop runs.
+	IntendedInsert, IntendedQuery histogram.Snapshot
 }
 
 // Execution is one workload execution (a warmup or a measured run).
@@ -203,9 +229,32 @@ type Execution struct {
 	Drivers []DriverOutcome
 	// InsertLatency and QueryLatency merge all instances' distributions.
 	InsertLatency, QueryLatency histogram.Snapshot
+	// IntendedInsert and IntendedQuery merge the instances' coordinated-
+	// omission-corrected distributions; empty for open-loop runs.
+	IntendedInsert, IntendedQuery histogram.Snapshot
 	// Series is the telemetry time series sampled during the execution;
 	// nil when telemetry is disabled.
 	Series *telemetry.Series
+}
+
+// TotalOps is the execution's completed operation count (inserts plus
+// dashboard and analytic queries).
+func (e Execution) TotalOps() int64 {
+	var n int64
+	for _, d := range e.Drivers {
+		n += d.Stats.Inserted + d.Stats.Queries + d.Stats.AnalyticQueries
+	}
+	return n
+}
+
+// ShedOps is the execution's count of operations deferred by load shedding
+// after retry exhaustion.
+func (e Execution) ShedOps() int64 {
+	var n int64
+	for _, d := range e.Drivers {
+		n += d.Stats.Shed
+	}
+	return n
 }
 
 // Elapsed is the execution's wall-clock duration.
@@ -255,6 +304,11 @@ type Iteration struct {
 	Warmup   Execution
 	Measured Execution
 	Checks   audit.Checklist
+	// Verdict is the live run-validity audit of the measured run: named
+	// rules with structured outcomes, interval violations joined to
+	// co-occurring telemetry signals. Its pass/fail is folded into Checks
+	// as the "run-validity-audit" entry.
+	Verdict audit.Verdict
 }
 
 // Result is the outcome of a full benchmark run.
@@ -262,6 +316,8 @@ type Result struct {
 	// Config echoes the run parameters.
 	Drivers   int
 	TotalKVPs int64
+	// TargetRate echoes the paced intended rate (0 = open loop).
+	TargetRate float64
 	// SUTDescription names the system under test.
 	SUTDescription string
 	// Prerequisites holds the pre-run checks.
@@ -312,9 +368,15 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		Drivers:        c.Drivers,
 		TotalKVPs:      c.TotalKVPs,
+		TargetRate:     c.TargetRate,
 		SUTDescription: c.SUT.Describe(),
 		Compliant:      c.MinWorkloadSeconds >= audit.MinWorkloadSeconds,
 	}
+	auditor := audit.NewAuditor(audit.Config{
+		Tolerance:  c.AuditTolerance,
+		MinSeconds: c.MinWorkloadSeconds,
+		ShedBudget: c.AuditShedBudget,
+	})
 
 	// Runtime health sampling for the whole run; every execution's interval
 	// series picks the runtime.* gauges up automatically.
@@ -367,6 +429,23 @@ func Run(cfg Config) (*Result, error) {
 			}
 			iter.Checks = append(iter.Checks,
 				audit.StoredRowsCheck(stored, warmup.KVPs+measured.KVPs))
+		}
+		// Live run-validity audit: the measured run's interval series plus
+		// its metadata, evaluated into a structured verdict whose pass/fail
+		// joins the iteration checklist.
+		iter.Verdict = auditor.Evaluate(audit.RunInfo{
+			WarmupSeconds:   warmup.Elapsed().Seconds(),
+			MeasuredSeconds: measured.Elapsed().Seconds(),
+			KVPs:            measured.KVPs,
+			ExpectedKVPs:    c.TotalKVPs,
+			TotalOps:        measured.TotalOps(),
+			ShedOps:         measured.ShedOps(),
+			TargetRate:      c.TargetRate,
+			Series:          measured.Series,
+		})
+		iter.Checks = append(iter.Checks, iter.Verdict.Check())
+		if c.OnVerdict != nil {
+			c.OnVerdict(it, iter.Verdict)
 		}
 		res.Iterations = append(res.Iterations, iter)
 		res.Metric.Runs = append(res.Metric.Runs, metrics.Run{
@@ -448,7 +527,14 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 				runs[d].err = err
 				return
 			}
-			runCfg := ycsb.RunConfig{Threads: c.ThreadsPerDriver, Registry: c.Telemetry}
+			runCfg := ycsb.RunConfig{
+				Threads:  c.ThreadsPerDriver,
+				Registry: c.Telemetry,
+				// The system-wide target splits evenly across instances; each
+				// instance further splits it across threads into a fixed
+				// intended-start schedule.
+				TargetOpsPerSec: c.TargetRate / float64(c.Drivers),
+			}
 			if d == 0 && c.StatusInterval > 0 {
 				runCfg.StatusInterval = c.StatusInterval
 				runCfg.Status = func(st ycsb.Status) {
@@ -461,12 +547,14 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 				return
 			}
 			runs[d].outcome = DriverOutcome{
-				Substation:    inst.Substation(),
-				Share:         share,
-				Elapsed:       rep.Elapsed(),
-				Stats:         inst.Stats(),
-				InsertLatency: rep.Latencies[ycsb.OpInsert],
-				QueryLatency:  rep.Latencies[ycsb.OpQuery],
+				Substation:     inst.Substation(),
+				Share:          share,
+				Elapsed:        rep.Elapsed(),
+				Stats:          inst.Stats(),
+				InsertLatency:  rep.Latencies[ycsb.OpInsert],
+				QueryLatency:   rep.Latencies[ycsb.OpQuery],
+				IntendedInsert: rep.Intended[ycsb.OpInsert],
+				IntendedQuery:  rep.Intended[ycsb.OpQuery],
 			}
 		}(d)
 	}
@@ -487,7 +575,7 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 	if ticker != nil {
 		exec.Series = ticker.Stop()
 	}
-	var inserts, queries []histogram.Snapshot
+	var inserts, queries, iInserts, iQueries []histogram.Snapshot
 	for d, r := range runs {
 		if r.err != nil {
 			return exec, fmt.Errorf("driver instance %d: %w", d, r.err)
@@ -496,8 +584,12 @@ func executeWorkload(c Config, salt uint64) (Execution, error) {
 		exec.KVPs += r.outcome.Stats.Inserted
 		inserts = append(inserts, r.outcome.InsertLatency)
 		queries = append(queries, r.outcome.QueryLatency)
+		iInserts = append(iInserts, r.outcome.IntendedInsert)
+		iQueries = append(iQueries, r.outcome.IntendedQuery)
 	}
 	exec.InsertLatency = histogram.MergeSnapshots(inserts...)
 	exec.QueryLatency = histogram.MergeSnapshots(queries...)
+	exec.IntendedInsert = histogram.MergeSnapshots(iInserts...)
+	exec.IntendedQuery = histogram.MergeSnapshots(iQueries...)
 	return exec, nil
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"tpcxiot/internal/audit"
+	"tpcxiot/internal/histogram"
 	"tpcxiot/internal/kvp"
 	"tpcxiot/internal/telemetry"
 )
@@ -41,6 +43,7 @@ func (r *Result) Report() string {
 			fmt.Fprintf(&b, "  insert latency (ns): %s\n", ins)
 			fmt.Fprintf(&b, "  insert tail: p99 %.2fms  p99.9 %.2fms\n",
 				msI(ins.Percentile(99)), msI(ins.Percentile(99.9)))
+			writeIntended(&b, "insert", ins, it.Measured.IntendedInsert)
 		}
 		if q := it.Measured.QueryLatency; q.Count() > 0 {
 			fmt.Fprintf(&b, "  query latency (ns):  %s\n", q)
@@ -49,9 +52,11 @@ func (r *Result) Report() string {
 				msI(q.Percentile(95)), q.CV())
 			fmt.Fprintf(&b, "  query tail: p99 %.2fms  p99.9 %.2fms\n",
 				msI(q.Percentile(99)), msI(q.Percentile(99.9)))
+			writeIntended(&b, "query", q, it.Measured.IntendedQuery)
 			fmt.Fprintf(&b, "  readings aggregated per query: %.1f\n", it.Measured.AvgRowsPerQuery())
 		}
 		writeSeries(&b, it.Measured.Series)
+		writeAudit(&b, it.Verdict)
 		fmt.Fprintf(&b, "%s\n", it.Checks)
 	}
 
@@ -78,6 +83,68 @@ func (r *Result) Report() string {
 
 func ms(ns float64) float64 { return ns / 1e6 }
 func msI(ns int64) float64  { return float64(ns) / 1e6 }
+
+// writeIntended renders the coordinated-omission-corrected tail next to the
+// service-time tail, with the divergence ratio: how much latency the
+// intended schedule absorbed that per-op service time never showed. Silent
+// for open-loop runs (no intended distribution exists).
+func writeIntended(b *strings.Builder, op string, service, intended histogram.Snapshot) {
+	if intended.Count() == 0 {
+		return
+	}
+	sp, ip := service.Percentile(99.9), intended.Percentile(99.9)
+	fmt.Fprintf(b, "  %s intended (CO-corrected): p99 %.2fms  p99.9 %.2fms",
+		op, msI(intended.Percentile(99)), msI(ip))
+	if sp > 0 {
+		fmt.Fprintf(b, "  (%.1fx service p99.9)", float64(ip)/float64(sp))
+	}
+	fmt.Fprintf(b, "\n")
+}
+
+// writeAudit renders the iteration's live run-validity verdict: one line
+// per rule, then the interval-attribution table joining each violating
+// interval to the telemetry signals active in it.
+func writeAudit(b *strings.Builder, v audit.Verdict) {
+	if len(v.Rules) == 0 {
+		return
+	}
+	status := "VALID"
+	if !v.Valid {
+		status = "INVALID"
+	}
+	fmt.Fprintf(b, "  Audit\n  -----\n")
+	pacing := "open-loop"
+	if v.TargetRate > 0 {
+		pacing = fmt.Sprintf("paced %.0f ops/s", v.TargetRate)
+	}
+	fmt.Fprintf(b, "  verdict: %s  (%s, %d complete intervals", status, pacing, v.Intervals)
+	if v.MeanRate > 0 {
+		fmt.Fprintf(b, ", mean %.1f ops/s", v.MeanRate)
+	}
+	fmt.Fprintf(b, ")\n")
+	for _, r := range v.Rules {
+		mark := "PASS"
+		if !r.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(b, "    [%s] %-22s %s\n", mark, r.Rule, r.Detail)
+	}
+	viols := v.Violations()
+	if len(viols) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "    interval attribution:\n")
+	fmt.Fprintf(b, "      %-8s %9s %12s %22s  %s\n",
+		"interval", "elapsed", "ops/s", "band", "co-occurring signals")
+	for _, iv := range viols {
+		signals := "-"
+		if len(iv.Signals) > 0 {
+			signals = strings.Join(iv.Signals, ", ")
+		}
+		fmt.Fprintf(b, "      %-8d %8.1fs %12.1f [%9.1f,%9.1f]  %s\n",
+			iv.Interval, iv.ElapsedSeconds, iv.Observed, iv.Lo, iv.Hi, signals)
+	}
+}
 
 // seriesPrintCap bounds the per-interval lines rendered inline; longer
 // series are summarised (the full series goes to the CSV export).

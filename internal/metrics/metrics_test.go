@@ -64,6 +64,63 @@ func TestPerformanceRunTieBreaksOnSlower(t *testing.T) {
 	}
 }
 
+func TestPerformanceRunTieBreakEdgeCases(t *testing.T) {
+	t.Run("equal kvps equal iotps keeps first", func(t *testing.T) {
+		// Fully tied runs: the selection is deterministic — the first run
+		// is reported, never an arbitrary later one.
+		res := Result{Runs: []Run{run(1000, 10), run(1000, 10)}}
+		pr, err := res.PerformanceRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Start.Equal(res.Runs[0].Start) || pr.Elapsed() != res.Runs[0].Elapsed() {
+			t.Fatalf("tied runs must report the first, got %+v", pr)
+		}
+	})
+	t.Run("zero duration loses nothing but reports zero", func(t *testing.T) {
+		// A degenerate (zero-length) run has IoTps 0, which is strictly
+		// lower than any real run's: on equal kvps the tie-break selects it
+		// and the reported metric collapses to 0 — conservative, and a loud
+		// signal that one measured run was broken.
+		res := Result{Runs: []Run{run(1000, 10), run(1000, 0)}}
+		pr, err := res.PerformanceRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.IoTps() != 0 {
+			t.Fatalf("zero-duration run must win the equal-kvp tie-break, got IoTps %v", pr.IoTps())
+		}
+		iotps, err := res.IoTps()
+		if err != nil || iotps != 0 {
+			t.Fatalf("reported IoTps = %v, %v; want 0", iotps, err)
+		}
+	})
+	t.Run("lower kvps beats lower iotps", func(t *testing.T) {
+		// N_m < N_n dominates the comparison even when the larger run was
+		// slower in rate terms.
+		res := Result{Runs: []Run{run(900, 100), run(800, 10)}} // 9 vs 80 IoTps
+		pr, err := res.PerformanceRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.KVPs != 800 {
+			t.Fatalf("picked %d kvps, want 800 (lower N wins regardless of rate)", pr.KVPs)
+		}
+	})
+	t.Run("zero duration on unequal kvps", func(t *testing.T) {
+		// The degenerate run only matters when it survives the N
+		// comparison; with strictly more kvps it is never selected.
+		res := Result{Runs: []Run{run(900, 10), run(1000, 0)}}
+		pr, err := res.PerformanceRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.KVPs != 900 {
+			t.Fatalf("picked %d kvps, want 900", pr.KVPs)
+		}
+	})
+}
+
 func TestEmptyResult(t *testing.T) {
 	var res Result
 	if _, err := res.PerformanceRun(); !errors.Is(err, ErrNoRuns) {

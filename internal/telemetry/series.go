@@ -147,17 +147,44 @@ func (s *Series) GaugeStats(name string) (peak int64, mean float64, ok bool) {
 	return peak, mean, ok
 }
 
-// PeakRate returns the highest and lowest per-interval total op rates, for
-// compact report summaries. Zeroes when the series is empty.
+// completeIntervalFraction is the floor below which a point counts as a
+// partial interval. Regular ticks cover at least the configured period
+// (time.Ticker never fires early), so only the tail point emitted by
+// Stop/Snapshot — which covers whatever remains since the last tick — falls
+// under it.
+const completeIntervalFraction = 0.9
+
+// Complete returns the points that cover a full sampling period. The final
+// point of a run spans only the tail since the last tick; folding it into
+// per-interval rate statistics makes a short tail read as a throughput
+// collapse, so peak/trough summaries and run-validity evaluation operate on
+// complete intervals only.
+func (s *Series) Complete() []Point {
+	floor := time.Duration(completeIntervalFraction * float64(s.Interval))
+	out := make([]Point, 0, len(s.Points))
+	for _, p := range s.Points {
+		if p.Interval >= floor {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PeakRate returns the highest and lowest per-interval total op rates over
+// the complete intervals, for compact report summaries. The trailing
+// partial interval is excluded — a 0.3 s tail at steady load would
+// otherwise report a bogus trough. Zeroes when no interval is complete.
 func (s *Series) PeakRate() (peak, trough float64) {
-	for i, p := range s.Points {
+	first := true
+	for _, p := range s.Complete() {
 		secs := p.Interval.Seconds()
 		if secs <= 0 {
 			continue
 		}
 		r := float64(p.TotalOps()) / secs
-		if i == 0 {
+		if first {
 			peak, trough = r, r
+			first = false
 			continue
 		}
 		if r > peak {

@@ -212,6 +212,41 @@ func TestTickerTailPoint(t *testing.T) {
 	}
 }
 
+func TestSeriesCompleteExcludesPartialTail(t *testing.T) {
+	point := func(interval time.Duration, count int64) Point {
+		return Point{
+			Interval: interval,
+			Ops:      []OpPoint{{Name: "op.INSERT", Count: count}},
+		}
+	}
+	s := &Series{
+		Interval: time.Second,
+		Points: []Point{
+			point(time.Second, 1000),
+			point(1100*time.Millisecond, 1200), // ticker fired late: still complete
+			point(time.Second, 800),
+			point(100*time.Millisecond, 30), // Stop/Snapshot tail: partial
+		},
+	}
+	if got := len(s.Complete()); got != 3 {
+		t.Fatalf("Complete() = %d points, want 3 (tail excluded)", got)
+	}
+	// PeakRate must not report the 300 ops/s tail as the trough.
+	peak, trough := s.PeakRate()
+	if trough != 800 {
+		t.Fatalf("trough = %.1f, want 800 (partial tail must not count)", trough)
+	}
+	if want := 1200 / 1.1; peak < want-1 || peak > want+1 {
+		t.Fatalf("peak = %.1f, want ~%.1f", peak, want)
+	}
+
+	// All-partial series: nothing to summarise.
+	empty := &Series{Interval: time.Second, Points: []Point{point(50*time.Millisecond, 5)}}
+	if p, tr := empty.PeakRate(); p != 0 || tr != 0 {
+		t.Fatalf("all-partial series PeakRate = %v, %v; want zeros", p, tr)
+	}
+}
+
 func TestSeriesCSV(t *testing.T) {
 	r := NewRegistry()
 	tk := NewTicker(r, time.Hour, nil)

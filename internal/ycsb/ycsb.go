@@ -173,8 +173,17 @@ type Workload interface {
 type RunConfig struct {
 	// Threads is the number of worker goroutines. Defaults to 1.
 	Threads int
-	// TargetOpsPerSec throttles the aggregate operation rate across all
-	// threads; 0 means unthrottled (the TPCx-IoT mode).
+	// TargetOpsPerSec paces the aggregate operation rate across all
+	// threads against a fixed intended-start schedule: thread t's i-th
+	// operation is *supposed* to start at threadStart + i/perThreadRate,
+	// and the worker sleeps until that instant when it is early. Pacing
+	// makes two latencies measurable per operation: service time (from
+	// the actual start) and intended latency (from the scheduled start,
+	// the coordinated-omission-corrected number — a stalled system delays
+	// the ops queued behind the stall, and only the intended measurement
+	// charges that delay to the system instead of silently not issuing
+	// them). 0 means unpaced open-loop (the classic TPCx-IoT mode), which
+	// records service time only.
 	TargetOpsPerSec float64
 	// StatusInterval, when positive, invokes Status on that period with a
 	// progress snapshot — YCSB's periodic status line.
@@ -184,8 +193,10 @@ type RunConfig struct {
 	Status func(Status)
 	// Registry, when non-nil, additionally receives every operation latency
 	// in the shared histograms "op.INSERT", "op.READ", "op.SCAN" and
-	// "op.QUERY". The run's own Report is unaffected; the registry gives a
-	// telemetry Ticker a cluster-wide cross-instance view.
+	// "op.QUERY" — and, when the run is paced, every intended latency in
+	// "intended.INSERT" etc., so a telemetry Ticker surfaces both
+	// distributions per interval. The run's own Report is unaffected; the
+	// registry gives the Ticker a cluster-wide cross-instance view.
 	Registry *telemetry.Registry
 }
 
@@ -219,8 +230,13 @@ func (s Status) String() string {
 type Report struct {
 	// Start and End bound the measured interval.
 	Start, End time.Time
-	// Latencies holds one distribution per operation kind (nanoseconds).
+	// Latencies holds one service-time distribution per operation kind
+	// (nanoseconds, measured from the operation's actual start).
 	Latencies map[OpKind]histogram.Snapshot
+	// Intended holds one intended-latency distribution per operation kind
+	// (nanoseconds, measured from the operation's scheduled start — the
+	// coordinated-omission-corrected view). Empty for unpaced runs.
+	Intended map[OpKind]histogram.Snapshot
 	// Ops counts completed operations per kind.
 	Ops map[OpKind]int64
 	// ThreadElapsed records each worker's wall-clock run time.
@@ -263,10 +279,18 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 
 	hists := make([]*histogram.Histogram, opKinds)
 	shared := make([]*histogram.Histogram, opKinds)
+	intended := make([]*histogram.Histogram, opKinds)
+	sharedIntended := make([]*histogram.Histogram, opKinds)
 	for i := range hists {
 		hists[i] = histogram.New()
 		if cfg.Registry != nil {
 			shared[i] = cfg.Registry.Histogram("op." + OpKind(i).String())
+		}
+		if cfg.TargetOpsPerSec > 0 {
+			intended[i] = histogram.New()
+			if cfg.Registry != nil {
+				sharedIntended[i] = cfg.Registry.Histogram("intended." + OpKind(i).String())
+			}
 		}
 	}
 	var opCounts [opKinds]atomic.Int64
@@ -343,6 +367,20 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 					return
 				}
 
+				// Intended-start schedule: op i of this thread is due at
+				// threadStart + i/perThreadTarget. An early worker sleeps
+				// until the due time; a late worker issues immediately and
+				// the schedule does NOT slip — the backlog shows up as
+				// intended latency on every delayed op.
+				var intendedStart time.Time
+				if perThreadTarget > 0 {
+					intendedStart = threadStart.Add(
+						time.Duration(float64(opsDone) / perThreadTarget * float64(time.Second)))
+					if wait := time.Until(intendedStart); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+
 				opStart := time.Now()
 				kind, done, err := tw.Next(db)
 				if done {
@@ -356,22 +394,25 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 					mu.Unlock()
 					return
 				}
-				lat := time.Since(opStart).Nanoseconds()
+				opEnd := time.Now()
+				lat := opEnd.Sub(opStart).Nanoseconds()
 				hists[kind].Record(lat)
 				if shared[kind] != nil {
 					shared[kind].Record(lat)
 				}
-				opCounts[kind].Add(1)
-				opsDone++
-
 				if perThreadTarget > 0 {
-					// Pace against the thread's own clock, YCSB-style.
-					ahead := time.Duration(float64(opsDone)/perThreadTarget*float64(time.Second)) -
-						time.Since(threadStart)
-					if ahead > 0 {
-						time.Sleep(ahead)
+					// opStart >= intendedStart always, so the intended
+					// latency dominates the service time: the two agree on
+					// a healthy run and diverge exactly when the system
+					// pushes the schedule behind.
+					ilat := opEnd.Sub(intendedStart).Nanoseconds()
+					intended[kind].Record(ilat)
+					if sharedIntended[kind] != nil {
+						sharedIntended[kind].Record(ilat)
 					}
 				}
+				opCounts[kind].Add(1)
+				opsDone++
 			}
 		}(t)
 	}
@@ -384,6 +425,7 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 		Start:         start,
 		End:           end,
 		Latencies:     make(map[OpKind]histogram.Snapshot, opKinds),
+		Intended:      make(map[OpKind]histogram.Snapshot, opKinds),
 		Ops:           make(map[OpKind]int64, opKinds),
 		ThreadElapsed: elapsed,
 		Err:           firstErr,
@@ -393,6 +435,11 @@ func Run(cfg RunConfig, binding Binding, w Workload) (*Report, error) {
 		if snap.Count() > 0 {
 			rep.Latencies[k] = snap
 			rep.Ops[k] = snap.Count()
+		}
+		if intended[k] != nil {
+			if isnap := intended[k].Snapshot(); isnap.Count() > 0 {
+				rep.Intended[k] = isnap
+			}
 		}
 	}
 	return rep, firstErr

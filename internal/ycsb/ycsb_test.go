@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"tpcxiot/internal/telemetry"
 )
 
 // fixedWorkload issues a fixed number of inserts per thread.
@@ -147,6 +149,93 @@ func TestThrottleLimitsThroughput(t *testing.T) {
 	}
 	if rep.Elapsed() < 250*time.Millisecond {
 		t.Fatalf("throttled run finished in %v, want >= 250ms", rep.Elapsed())
+	}
+}
+
+func TestPacedRunRecordsIntendedLatency(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rep, err := Run(
+		RunConfig{Threads: 2, TargetOpsPerSec: 2000, Registry: reg},
+		func(int) (DB, error) { return NewMemDB(), nil },
+		&fixedWorkload{perThread: 50},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := rep.Intended[OpInsert]
+	if !ok || in.Count() != 100 {
+		t.Fatalf("intended distribution missing or short: %d obs", in.Count())
+	}
+	// Intended latency is measured from the scheduled start, which never
+	// follows the actual start: every observation dominates its service
+	// counterpart, so the distributions' means are ordered.
+	if in.Mean() < rep.Latencies[OpInsert].Mean() {
+		t.Fatalf("intended mean %.0fns below service mean %.0fns",
+			in.Mean(), rep.Latencies[OpInsert].Mean())
+	}
+	// The registry carries the same split for the telemetry ticker.
+	sum := reg.Summary()
+	if snap, ok := sum.Histogram("intended.INSERT"); !ok || snap.Count() != 100 {
+		t.Fatalf("registry intended.INSERT missing: ok=%v count=%d", ok, snap.Count())
+	}
+}
+
+func TestUnpacedRunHasNoIntendedDistribution(t *testing.T) {
+	rep, err := Run(RunConfig{Threads: 2},
+		func(int) (DB, error) { return NewMemDB(), nil },
+		&fixedWorkload{perThread: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Intended) != 0 {
+		t.Fatalf("open-loop run recorded intended latency: %v", rep.Intended)
+	}
+}
+
+// stallDB delays exactly one insert (the stallAt-th) by stallFor, leaving
+// every other operation fast — the canonical coordinated-omission shape.
+type stallDB struct {
+	DB
+	n        atomic.Int64
+	stallAt  int64
+	stallFor time.Duration
+}
+
+func (s *stallDB) Insert(key, value []byte) error {
+	if s.n.Add(1) == s.stallAt {
+		time.Sleep(s.stallFor)
+	}
+	return s.DB.Insert(key, value)
+}
+
+func TestIntendedLatencyExposesStall(t *testing.T) {
+	// One thread paced at 1000 ops/s issues 600 ops; op 100 stalls 300 ms.
+	// Exactly one op has a slow service time, but the fixed schedule puts
+	// ~300 subsequent ops behind their intended starts, so the intended
+	// distribution carries the backlog the service histogram hides: its
+	// mean is dominated by the stall while the service median stays tiny.
+	db := &stallDB{DB: NewMemDB(), stallAt: 100, stallFor: 300 * time.Millisecond}
+	rep, err := Run(
+		RunConfig{Threads: 1, TargetOpsPerSec: 1000},
+		func(int) (DB, error) { return db, nil },
+		&fixedWorkload{perThread: 600},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := rep.Latencies[OpInsert]
+	in := rep.Intended[OpInsert]
+	if service.Percentile(50) > (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("service median %.2fms — stall leaked into unrelated ops",
+			float64(service.Percentile(50))/1e6)
+	}
+	if in.Mean() < (30 * time.Millisecond).Seconds()*1e9 {
+		t.Fatalf("intended mean %.2fms too low — backlog not charged to the schedule",
+			in.Mean()/1e6)
+	}
+	if in.Mean() < 10*float64(service.Percentile(50)) {
+		t.Fatalf("intended mean %.2fms does not dominate service median %.2fms",
+			in.Mean()/1e6, float64(service.Percentile(50))/1e6)
 	}
 }
 
